@@ -1,0 +1,78 @@
+"""E11 — Ablation: what the equivocator-exclusion trick is worth.
+
+The paper's two-process improvement over FaB Paxos comes from one move
+(Section 3.2): a leader holding proof that ``leader(w)`` equivocated
+excludes that process's vote and, knowing at most ``f - 1`` Byzantine
+votes remain, trusts a ``2f``-vote threshold.  Section 4.4 explains the
+flip side: when proposers are not acceptors the trick is unavailable and
+``3f + 2t + 1`` is optimal again.
+
+This benchmark disables the trick in the real implementation (the
+``exclude_equivocator=False`` selection variant) and reruns the splice
+adversary *at the bound* ``n = 3f + 2t - 1``:
+
+* with the trick: safe (as in E4);
+* without it: consistency violated — the equivocator's own lying nil
+  vote pads the crafted vote set, the threshold cannot be met by the
+  decided value, and the conflicting value gets certified.
+
+Together with the analytic ``min_processes_disjoint_roles`` this is the
+executable form of Section 4.4.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.core.quorums import (
+    min_processes_disjoint_roles,
+    min_processes_fast_bft,
+)
+from repro.lowerbound import run_splice_attack
+
+
+def ablation_table():
+    rows = []
+    for f, t in [(2, 2), (3, 2), (2, 1)]:
+        bound = min_processes_fast_bft(f, t)
+        with_trick = run_splice_attack(
+            f=f, t=t, n=bound, exclude_equivocator=True
+        )
+        without_trick = run_splice_attack(
+            f=f, t=t, n=bound, exclude_equivocator=False
+        )
+        rows.append(
+            [
+                f, t, bound,
+                "safe" if with_trick.safe else "DISAGREEMENT",
+                "safe" if without_trick.safe else "DISAGREEMENT",
+                min_processes_disjoint_roles(f, t),
+            ]
+        )
+    return rows
+
+
+def test_e11_exclusion_trick_is_load_bearing(benchmark):
+    rows = benchmark(ablation_table)
+    emit(
+        "E11: splice attack at n = 3f + 2t - 1, with/without the "
+        "equivocator-exclusion trick",
+        format_table(
+            [
+                "f", "t", "n (bound)",
+                "with exclusion", "without exclusion",
+                "disjoint-roles bound",
+            ],
+            rows,
+        ),
+    )
+    for f, t, n, with_trick, without_trick, disjoint in rows:
+        assert with_trick == "safe"
+        assert without_trick == "DISAGREEMENT"
+        assert disjoint == n + 2  # Section 4.4: two more processes
+
+
+def test_e11_single_ablated_run_speed(benchmark):
+    outcome = benchmark(
+        lambda: run_splice_attack(f=2, t=2, n=9, exclude_equivocator=False)
+    )
+    assert outcome.violated

@@ -1,0 +1,58 @@
+"""E2 — Fast path (Figure 1a): two message delays in the common case.
+
+Regenerates the execution of Figure 1a across deployment sizes: the
+leader proposes, everyone acknowledges, everyone decides at exactly
+2 * DELTA.  Also reports the message cost (n proposes + n^2 acks).
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table, run_common_case
+from repro.core.config import ProtocolConfig
+from repro.core.fastbft import FastBFTProcess
+from repro.crypto.keys import KeyRegistry
+
+
+def build(n, f):
+    config = ProtocolConfig(n=n, f=f)
+    registry = KeyRegistry.for_processes(config.process_ids)
+    return [
+        FastBFTProcess(pid, config, registry, "value")
+        for pid in config.process_ids
+    ]
+
+
+def fast_path_series():
+    rows = []
+    for f in (1, 2, 3, 4):
+        n = 5 * f - 1
+        result = run_common_case(build(n, f))
+        rows.append(
+            [
+                n,
+                f,
+                result.delays,
+                result.messages,
+                result.messages_by_type.get("Propose", 0),
+                result.messages_by_type.get("Ack", 0),
+            ]
+        )
+    return rows
+
+
+def test_e2_fast_path_two_delays(benchmark):
+    rows = benchmark(fast_path_series)
+    emit(
+        "E2: fast path latency and message cost (Figure 1a)",
+        format_table(["n", "f", "delays", "msgs", "propose", "ack"], rows),
+    )
+    for n, f, delays, msgs, proposes, acks in rows:
+        assert delays == 2
+        assert proposes == n
+        assert acks == n * n
+
+
+def test_e2_single_run_speed(benchmark):
+    """Wall-clock cost of simulating one n=9 common-case instance."""
+    result = benchmark(lambda: run_common_case(build(9, 2)))
+    assert result.delays == 2

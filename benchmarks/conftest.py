@@ -1,0 +1,18 @@
+"""Shared benchmark utilities.
+
+Every benchmark prints the table/series it regenerates (the material in
+EXPERIMENTS.md) and times its core operation via pytest-benchmark.  Run:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def emit(title: str, body: str) -> None:
+    """Print an experiment artifact in a recognizable block."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

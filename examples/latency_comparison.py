@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The latency/resilience landscape of consensus protocols (Section 1).
+
+Reproduces the paper's motivating comparison as two tables:
+
+1. minimum process counts per (f, t) — ours is always exactly two
+   processes cheaper than FaB Paxos, and for t = 1 it matches the
+   optimal 3f + 1 of any partially synchronous Byzantine consensus;
+2. measured common-case latency — in lock-step message delays and in
+   simulated time under randomized link delays.
+"""
+
+from repro.analysis import (
+    PROTOCOLS,
+    build_protocol,
+    format_table,
+    repeat_latency,
+    run_common_case,
+)
+from repro.sim import RandomDelay
+
+
+def resilience_table() -> None:
+    rows = []
+    for f, t in [(1, 1), (2, 1), (2, 2), (3, 1), (3, 3), (5, 5)]:
+        rows.append(
+            [f, t]
+            + [PROTOCOLS[key].min_n(f, t) for key in ("fbft", "fab", "pbft", "paxos")]
+        )
+    print("Minimum number of processes (fast Byzantine / classic / crash):\n")
+    print(
+        format_table(
+            ["f", "t", "FBFT (ours)", "FaB Paxos", "PBFT", "Paxos"], rows
+        )
+    )
+
+
+def latency_table(runs: int = 25) -> None:
+    rows = []
+    for key in ("fbft", "fab", "pbft", "paxos"):
+        spec = PROTOCOLS[key]
+        delays = run_common_case(build_protocol(key, f=1)).delays
+        stats = repeat_latency(
+            lambda key=key: build_protocol(key, f=1),
+            runs=runs,
+            delay_model_factory=lambda run: RandomDelay(0.5, 1.5, seed=run),
+        )
+        rows.append(
+            [spec.name, spec.min_n(1, 1), delays,
+             round(stats.mean, 3), round(stats.p95, 3)]
+        )
+    print(
+        f"\nCommon-case latency at f = 1 ({runs} runs, link delay ~ U[0.5, 1.5]):\n"
+    )
+    print(format_table(["protocol", "n", "delays", "mean", "p95"], rows))
+
+
+def main() -> None:
+    resilience_table()
+    latency_table()
+    print(
+        "\nReading: our protocol decides as fast as crash Paxos and FaB "
+        "Paxos (2 delays)\nwhile PBFT needs 3 — and it does so with two "
+        "fewer processes than FaB."
+    )
+
+
+if __name__ == "__main__":
+    main()

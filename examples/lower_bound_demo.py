@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Theorem 4.5, live: why n = 3f + 2t - 1 is tight.
+
+Runs the paper's five-execution splice argument as an actual attack
+against the real protocol implementation, at two system sizes:
+
+* n = 3f + 2t - 2 (one process below the bound): the Byzantine leader of
+  view 2 finds a vote subset under which the honest selection algorithm
+  admits the conflicting value — two correct processes end up deciding
+  differently;
+* n = 3f + 2t - 1 (the bound): the *same* adversary finds no such
+  subset — every admissible vote set pins the potentially-decided value
+  and the system converges safely.
+
+Also runs Lemma 4.4's influential-process search, which lands on the
+first-view leader.
+"""
+
+from repro import FastBFTProcess, KeyRegistry, ProtocolConfig
+from repro.lowerbound import (
+    find_influential_process,
+    run_splice_attack,
+)
+
+
+def influential_demo() -> None:
+    config = ProtocolConfig(n=4, f=1)
+    registry = KeyRegistry.for_processes(config.process_ids)
+    witness = find_influential_process(
+        lambda pid, value: FastBFTProcess(pid, config, registry, value),
+        n=4,
+        t=1,
+    )
+    print("Lemma 4.4 — influential process search (n=4, t=1):")
+    print(f"  influential process: p{witness.pid} (the view-1 leader)")
+    print(f"  I0 = {witness.config0.inputs} with T0={witness.t0_set} "
+          f"decides {witness.value0}")
+    print(f"  I1 = {witness.config1.inputs} with T1={witness.t1_set} "
+          f"decides {witness.value1}")
+    assert witness.check()
+
+
+def splice_demo(f: int, t: int) -> None:
+    bound = max(3 * f + 2 * t - 1, 3 * f + 1)
+    print(f"\nTheorem 4.5 — splice attack with f={f}, t={t} (bound: n={bound}):")
+    below = run_splice_attack(f=f, t=t, n=bound - 1)
+    label = "CONSISTENCY VIOLATED" if below.violated else "safe"
+    print(f"  n={bound - 1}: {label}")
+    if below.violated:
+        deciders = [f"p{pid}={val!r}@{time}" for pid, val, time in below.fast_decisions]
+        print(f"    fast deciders: {', '.join(deciders)}")
+        print(f"    then: {below.detail}")
+    at = run_splice_attack(f=f, t=t, n=bound)
+    label = "CONSISTENCY VIOLATED" if at.violated else "safe"
+    print(f"  n={bound}: {label} (converged on {at.final_value!r})")
+    assert below.violated and at.safe
+
+
+def main() -> None:
+    influential_demo()
+    splice_demo(f=2, t=2)  # vanilla protocol: 8 breaks, 9 = 5f - 1 holds
+    splice_demo(f=3, t=2)  # generalized: 11 breaks, 12 = 3f + 2t - 1 holds
+    print(
+        "\nOK: the same adversary flips from harmless to fatal at exactly "
+        "one process\nbelow the bound — 3f + 2t - 1 is tight, as the paper "
+        "proves (and FaB Paxos's\nclaimed 3f + 2t + 1 was not the true bound)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+whose setuptools lacks PEP 660 editable-wheel support (no `wheel` package).
+All project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

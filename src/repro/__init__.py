@@ -1,0 +1,76 @@
+"""repro — Fast Byzantine Consensus with Optimal Resilience.
+
+A faithful, executable reproduction of *"Revisiting Optimal Resilience of
+Fast Byzantine Consensus"* (Kuznetsov, Tonkikh & Zhang, PODC 2021):
+
+* the vanilla two-step protocol for ``n >= 5f - 1``
+  (:class:`~repro.core.FastBFTProcess`);
+* the generalized protocol for ``n >= 3f + 2t - 1`` with a PBFT-like slow
+  path (:class:`~repro.core.GeneralizedFBFTProcess`);
+* the matching lower bound as executable adversaries
+  (:mod:`repro.lowerbound`);
+* baselines — PBFT, FaB Paxos, crash Paxos (:mod:`repro.baselines`);
+* a deterministic discrete-event simulator everything runs on
+  (:mod:`repro.sim`);
+* replicated state machines on top of the consensus core
+  (:mod:`repro.smr`).
+
+Quick start::
+
+    from repro import ProtocolConfig, FastBFTProcess, Cluster, KeyRegistry
+
+    config = ProtocolConfig(n=4, f=1)          # f = t = 1 needs only 4!
+    registry = KeyRegistry.for_processes(config.process_ids)
+    processes = [
+        FastBFTProcess(pid, config, registry, input_value=f"v{pid}")
+        for pid in config.process_ids
+    ]
+    result = Cluster(processes).run_until_decided()
+    print(result.decision_value, result.decision_time)
+"""
+
+from .core import (
+    FastBFTProcess,
+    FBFTBase,
+    GeneralizedFBFTProcess,
+    ProtocolConfig,
+    min_processes_fab,
+    min_processes_fast_bft,
+    min_processes_paxos_crash,
+    min_processes_pbft,
+)
+from .crypto import KeyRegistry
+from .sim import (
+    Cluster,
+    ClusterResult,
+    ConsistencyViolation,
+    RandomDelay,
+    RoundSynchronousDelay,
+    SimulationError,
+    Simulator,
+    SynchronousDelay,
+    message_delays,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterResult",
+    "ConsistencyViolation",
+    "FBFTBase",
+    "FastBFTProcess",
+    "GeneralizedFBFTProcess",
+    "KeyRegistry",
+    "ProtocolConfig",
+    "RandomDelay",
+    "RoundSynchronousDelay",
+    "SimulationError",
+    "Simulator",
+    "SynchronousDelay",
+    "message_delays",
+    "min_processes_fab",
+    "min_processes_fast_bft",
+    "min_processes_paxos_crash",
+    "min_processes_pbft",
+]

@@ -1,0 +1,17 @@
+"""Measurement and reporting utilities for the experiment suite."""
+
+from .comparison import PROTOCOLS, ProtocolSpec, build_protocol
+from .metrics import CommonCaseResult, Stats, repeat_latency, run_common_case
+from .report import format_markdown_table, format_table
+
+__all__ = [
+    "CommonCaseResult",
+    "PROTOCOLS",
+    "ProtocolSpec",
+    "Stats",
+    "build_protocol",
+    "format_markdown_table",
+    "format_table",
+    "repeat_latency",
+    "run_common_case",
+]

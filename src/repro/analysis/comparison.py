@@ -1,0 +1,133 @@
+"""Uniform constructors for every protocol family in the repository.
+
+Experiments E1 and E6 sweep "ours vs FaB vs PBFT vs Paxos" over (f, t);
+this module gives each family a :class:`ProtocolSpec` with the same shape
+— minimum process count and a process-list builder — so the sweeps are
+table-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..baselines.fab import FaBConfig, FaBProcess
+from ..baselines.optimistic import OptimisticConfig, OptimisticProcess
+from ..baselines.paxos import PaxosConfig, PaxosProcess
+from ..baselines.pbft import PBFTConfig, PBFTProcess
+from ..core.config import ProtocolConfig
+from ..core.fastbft import FastBFTProcess
+from ..core.generalized import GeneralizedFBFTProcess
+from ..core.quorums import (
+    min_processes_fab,
+    min_processes_fast_bft,
+    min_processes_paxos_crash,
+    min_processes_pbft,
+)
+from ..crypto.keys import KeyRegistry
+from ..sim.process import Process
+
+__all__ = ["ProtocolSpec", "PROTOCOLS", "build_protocol"]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One protocol family, normalized for sweeps."""
+
+    name: str
+    #: Common-case decision latency in message delays (the paper's claim).
+    claimed_delays: int
+    #: Whether the family distinguishes the fast threshold t from f.
+    parameterized_by_t: bool
+    #: Fault models the implementation supports.
+    byzantine: bool
+    min_n: Callable[[int, int], int]
+    build: Callable[[int, int, int, Any], List[Process]]
+
+
+def _build_ours(n: int, f: int, t: int, value: Any) -> List[Process]:
+    config = ProtocolConfig(n=n, f=f, t=t)
+    registry = KeyRegistry.for_processes(config.process_ids)
+    cls = FastBFTProcess if t == f else GeneralizedFBFTProcess
+    return [cls(pid, config, registry, value) for pid in config.process_ids]
+
+
+def _build_fab(n: int, f: int, t: int, value: Any) -> List[Process]:
+    config = FaBConfig(n=n, f=f, t=t)
+    return [FaBProcess(pid, config, value) for pid in config.process_ids]
+
+
+def _build_pbft(n: int, f: int, t: int, value: Any) -> List[Process]:
+    config = PBFTConfig(n=n, f=f)
+    return [PBFTProcess(pid, config, value) for pid in config.process_ids]
+
+
+def _build_paxos(n: int, f: int, t: int, value: Any) -> List[Process]:
+    config = PaxosConfig(n=n, f=f)
+    return [PaxosProcess(pid, config, value) for pid in config.process_ids]
+
+
+def _build_optimistic(n: int, f: int, t: int, value: Any) -> List[Process]:
+    config = OptimisticConfig(n=n, f=f)
+    return [OptimisticProcess(pid, config, value) for pid in config.process_ids]
+
+
+PROTOCOLS: Dict[str, ProtocolSpec] = {
+    "fbft": ProtocolSpec(
+        name="FBFT (this paper)",
+        claimed_delays=2,
+        parameterized_by_t=True,
+        byzantine=True,
+        min_n=min_processes_fast_bft,
+        build=_build_ours,
+    ),
+    "fab": ProtocolSpec(
+        name="FaB Paxos",
+        claimed_delays=2,
+        parameterized_by_t=True,
+        byzantine=True,
+        min_n=min_processes_fab,
+        build=_build_fab,
+    ),
+    "pbft": ProtocolSpec(
+        name="PBFT",
+        claimed_delays=3,
+        parameterized_by_t=False,
+        byzantine=True,
+        min_n=lambda f, t: min_processes_pbft(f),
+        build=_build_pbft,
+    ),
+    "paxos": ProtocolSpec(
+        name="Paxos (crash)",
+        claimed_delays=2,
+        parameterized_by_t=False,
+        byzantine=False,
+        min_n=lambda f, t: min_processes_paxos_crash(f),
+        build=_build_paxos,
+    ),
+    "optimistic": ProtocolSpec(
+        # Kursawe-style: 2 delays only in failure-free runs (t = 0).
+        name="Kursawe-style optimistic",
+        claimed_delays=2,
+        parameterized_by_t=False,
+        byzantine=True,
+        min_n=lambda f, t: min_processes_pbft(f),
+        build=_build_optimistic,
+    ),
+}
+
+
+def build_protocol(
+    key: str,
+    f: int,
+    t: Optional[int] = None,
+    n: Optional[int] = None,
+    value: Any = "v",
+) -> List[Process]:
+    """Build a minimal (or size-``n``) deployment of protocol ``key``."""
+    spec = PROTOCOLS[key]
+    if t is None:
+        t = f
+    if n is None:
+        n = spec.min_n(f, t)
+    return spec.build(n, f, t, value)

@@ -1,0 +1,125 @@
+"""Measurement helpers: latency distributions and run summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.network import DelayModel, RoundSynchronousDelay
+from ..sim.process import Process
+from ..sim.runner import Cluster
+from ..sim.trace import message_delays
+
+__all__ = ["Stats", "CommonCaseResult", "run_common_case", "repeat_latency"]
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary statistics of a sample (times or delay counts)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "Stats":
+        if not values:
+            raise ValueError("cannot summarize an empty sample")
+        array = np.asarray(values, dtype=float)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            p50=float(np.percentile(array, 50)),
+            p95=float(np.percentile(array, 95)),
+            minimum=float(array.min()),
+            maximum=float(array.max()),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (
+            f"n={self.count} mean={self.mean:.3f} p50={self.p50:.3f} "
+            f"p95={self.p95:.3f} min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+
+
+@dataclass(frozen=True)
+class CommonCaseResult:
+    """One common-case run: decision latency and message cost."""
+
+    decided: bool
+    value: Any
+    decision_time: Optional[float]
+    delays: Optional[int]
+    messages: int
+    messages_by_type: Dict[str, int]
+
+
+def run_common_case(
+    processes: Sequence[Process],
+    correct_pids: Optional[Iterable[int]] = None,
+    delta: float = 1.0,
+    delay_model: Optional[DelayModel] = None,
+    timeout: float = 1_000.0,
+) -> CommonCaseResult:
+    """Run a cluster until all correct processes decide; report latency.
+
+    With the default round-synchronous delay model, ``delays`` is the
+    decision latency in message delays — the paper's headline metric.
+    """
+    model = delay_model or RoundSynchronousDelay(delta)
+    cluster = Cluster(list(processes), delay_model=model)
+    result = cluster.run_until_decided(correct_pids=correct_pids, timeout=timeout)
+    delays = None
+    if result.decided and isinstance(model, RoundSynchronousDelay):
+        delays = message_delays(result.decision_time, delta)
+    # Count only messages sent up to the decision (pacemakers keep running).
+    if result.decided:
+        messages = sum(
+            1
+            for env in cluster.trace.sends
+            if env.send_time <= result.decision_time + 1e-9
+        )
+    else:
+        messages = cluster.trace.message_count()
+    by_type: Dict[str, int] = {}
+    for env in cluster.trace.sends:
+        if result.decided and env.send_time > result.decision_time + 1e-9:
+            continue
+        name = type(env.payload).__name__
+        by_type[name] = by_type.get(name, 0) + 1
+    return CommonCaseResult(
+        decided=result.decided,
+        value=result.decision_value,
+        decision_time=result.decision_time,
+        delays=delays,
+        messages=messages,
+        messages_by_type=by_type,
+    )
+
+
+def repeat_latency(
+    build_processes,
+    runs: int,
+    delay_model_factory,
+    correct_pids: Optional[Iterable[int]] = None,
+    timeout: float = 1_000.0,
+) -> Stats:
+    """Run ``runs`` independent clusters (fresh delay model per run, e.g.
+    different seeds) and summarize the wall-clock decision latency."""
+    times: List[float] = []
+    for run in range(runs):
+        cluster = Cluster(
+            list(build_processes()), delay_model=delay_model_factory(run)
+        )
+        result = cluster.run_until_decided(
+            correct_pids=correct_pids, timeout=timeout
+        )
+        if not result.decided:
+            raise RuntimeError(f"run {run} did not decide within {timeout}")
+        times.append(result.decision_time)
+    return Stats.from_values(times)

@@ -1,0 +1,40 @@
+"""Plain-text tables for benchmark output (EXPERIMENTS.md material)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width aligned table for terminal output."""
+    table = [[_stringify(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out: List[str] = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in table)
+    return "\n".join(out)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> str:
+    """GitHub-flavoured markdown table (pasteable into EXPERIMENTS.md)."""
+    out = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        out.append("| " + " | ".join(_stringify(c) for c in row) + " |")
+    return "\n".join(out)

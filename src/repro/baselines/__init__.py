@@ -1,0 +1,24 @@
+"""Baseline consensus protocols the paper compares against.
+
+* :mod:`~repro.baselines.pbft` — PBFT: n = 3f + 1, three-step;
+* :mod:`~repro.baselines.fab` — FaB Paxos: n = 3f + 2t + 1, two-step;
+* :mod:`~repro.baselines.paxos` — crash Paxos: n = 2f + 1, two-step;
+* :mod:`~repro.baselines.optimistic` — Kursawe-style: n = 3f + 1,
+  two-step only when *all* processes are correct and timely.
+"""
+
+from .fab import FaBConfig, FaBProcess
+from .optimistic import OptimisticConfig, OptimisticProcess
+from .paxos import PaxosConfig, PaxosProcess
+from .pbft import PBFTConfig, PBFTProcess
+
+__all__ = [
+    "FaBConfig",
+    "FaBProcess",
+    "OptimisticConfig",
+    "OptimisticProcess",
+    "PBFTConfig",
+    "PBFTProcess",
+    "PaxosConfig",
+    "PaxosProcess",
+]

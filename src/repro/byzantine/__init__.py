@@ -1,0 +1,22 @@
+"""Byzantine behaviours and attack components."""
+
+from .behaviors import (
+    ByzantineForge,
+    CrashAfter,
+    EquivocatingLeader,
+    ScriptedByzantine,
+    ScriptedSend,
+    SilentProcess,
+)
+from .splice import SpliceCompanion, SpliceViewTwoLeader
+
+__all__ = [
+    "ByzantineForge",
+    "CrashAfter",
+    "EquivocatingLeader",
+    "ScriptedByzantine",
+    "ScriptedSend",
+    "SilentProcess",
+    "SpliceCompanion",
+    "SpliceViewTwoLeader",
+]

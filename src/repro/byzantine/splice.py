@@ -1,0 +1,233 @@
+"""The splice adversary: Theorem 4.5 as runnable Byzantine processes.
+
+The lower-bound proof (Figures 2-4) splices together executions in which
+an equivocating influential process shows value ``x`` to one part of the
+system and value ``y`` to another, and the Byzantine groups relay
+whichever face of the equivocation keeps the two halves indistinguishable.
+
+This module provides the two Byzantine roles the executable attack needs
+(the full scenario is assembled in
+:mod:`repro.lowerbound.splice_attack`):
+
+* :class:`SpliceCompanion` — a Byzantine follower that (a) acknowledges
+  the adversary's preferred value ``x`` towards the processes meant to
+  decide it fast, (b) lies about its vote (claims nil) to the next
+  leader, and (c) rubber-stamps any certificate request;
+* :class:`SpliceViewTwoLeader` — a Byzantine leader of view 2 that
+  searches the votes it receives for a subset of ``n - f`` votes under
+  which the (honest, deterministic) selection algorithm *admits* the
+  conflicting value ``y``, then drives the certificate round and proposes
+  ``y``.  At ``n = 3f + 2t - 1`` no such subset exists — the selection
+  threshold ``f + t`` (``2f`` vanilla) is always reached by ``x`` votes —
+  so the attacker can only stay silent and the protocol stays safe; at
+  ``n = 3f + 2t - 2`` the subset exists and consistency breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.certificates import ProgressCertificate
+from ..core.config import ProtocolConfig
+from ..core.messages import CertAck, CertRequest, Propose, Vote
+from ..core.payloads import certack_payload
+from ..core.selection import selection_admits
+from ..core.votes import SignedVote, signed_vote_valid
+from ..crypto.keys import KeyRegistry
+from ..sim.process import Process
+from .behaviors import ByzantineForge
+
+__all__ = ["SpliceCompanion", "SpliceViewTwoLeader"]
+
+
+class SpliceCompanion(Process):
+    """Byzantine follower assisting the equivocator (see module docstring)."""
+
+    def __init__(
+        self,
+        pid: int,
+        registry: KeyRegistry,
+        config: ProtocolConfig,
+        x_value: Any,
+        x_group: Tuple[int, ...],
+        leader_pid: int,
+        ack_time: float,
+        vote_time: float,
+        wish_time: float,
+    ) -> None:
+        super().__init__(pid)
+        self.forge = ByzantineForge(pid, registry, config)
+        self.x_value = x_value
+        self.x_group = tuple(x_group)
+        self.leader_pid = leader_pid
+        self.ack_time = ack_time
+        self.vote_time = vote_time
+        self.wish_time = wish_time
+
+    def on_start(self) -> None:
+        self.ctx.set_timer("splice-ack", self.ack_time, self._send_acks)
+        self.ctx.set_timer("splice-vote", self.vote_time, self._send_vote)
+        self.ctx.set_timer("splice-wish", self.wish_time, self._send_wish)
+
+    def _send_acks(self) -> None:
+        ack = self.forge.ack(self.x_value, 1)
+        for dst in self.x_group:
+            self.send(dst, ack)
+
+    def _send_vote(self) -> None:
+        """Lie to the view-2 leader: claim we never acknowledged anything."""
+        if self.pid != self.leader_pid:
+            self.send(self.leader_pid, self.forge.vote_message(None, 2))
+
+    def _send_wish(self) -> None:
+        self.broadcast(self.forge.wish(2))
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        # Rubber-stamp every certificate request, whoever sends it, and
+        # acknowledge every post-view-change proposal (the attack needs
+        # Byzantine acks to fill the fast quorum when t < f).
+        if isinstance(payload, CertRequest):
+            self.send(sender, self.forge.cert_ack(payload.value, payload.view))
+        elif isinstance(payload, Propose) and payload.view >= 2:
+            self.broadcast(self.forge.ack(payload.value, payload.view))
+
+
+class SpliceViewTwoLeader(Process):
+    """Byzantine leader of view 2 pushing the conflicting value ``y``."""
+
+    def __init__(
+        self,
+        pid: int,
+        registry: KeyRegistry,
+        config: ProtocolConfig,
+        x_value: Any,
+        y_value: Any,
+        x_group: Tuple[int, ...],
+        equivocator: int,
+        ack_time: float,
+        wish_time: float,
+        exclude_equivocator: bool = True,
+    ) -> None:
+        super().__init__(pid)
+        self.registry = registry
+        self.config = config
+        #: Mirrors the correct processes' selection variant: when the
+        #: ablation disables exclusion, the attacker may exploit the
+        #: equivocator's own (lying) vote as filler.
+        self.exclude_equivocator = exclude_equivocator
+        self.forge = ByzantineForge(pid, registry, config)
+        self.x_value = x_value
+        self.y_value = y_value
+        self.x_group = tuple(x_group)
+        self.equivocator = equivocator
+        self.ack_time = ack_time
+        self.wish_time = wish_time
+        self._votes: Dict[int, SignedVote] = {}
+        self._certacks: Dict[int, Any] = {}
+        self._selected_set: Optional[Tuple[SignedVote, ...]] = None
+        self._proposed = False
+
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        # Phase 0: help the equivocator get x decided fast in view 1, and
+        # register our own lying nil vote for view 2.
+        self.ctx.set_timer("splice-ack", self.ack_time, self._send_acks)
+        self.ctx.set_timer("splice-wish", self.wish_time, self._send_wish)
+        self._votes[self.pid] = self.forge.nil_vote(2)
+
+    def _send_acks(self) -> None:
+        ack = self.forge.ack(self.x_value, 1)
+        for dst in self.x_group:
+            self.send(dst, ack)
+
+    def _send_wish(self) -> None:
+        self.broadcast(self.forge.wish(2))
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, Vote) and payload.view == 2:
+            signed = payload.signed
+            if signed.voter == sender and signed_vote_valid(
+                signed, 2, self.registry, self.config
+            ):
+                self._votes[sender] = signed
+                self._try_attack()
+        elif isinstance(payload, CertAck) and payload.view == 2:
+            if payload.value == self.y_value and payload.phi.signer == sender:
+                if self.registry.verify(
+                    payload.phi, certack_payload(self.y_value, 2)
+                ):
+                    self._certacks[sender] = payload.phi
+                    self._try_propose()
+
+    # ------------------------------------------------------------------
+    def _try_attack(self) -> None:
+        """Search for an ``n - f`` vote subset admitting ``y``."""
+        if self._selected_set is not None or self._proposed:
+            return
+        crafted = self.craft_admitting_set(
+            self._votes,
+            self.y_value,
+            self.equivocator,
+            self.config,
+            self.exclude_equivocator,
+        )
+        if crafted is None:
+            return  # not (yet) possible — at n >= 3f + 2t - 1, never.
+        self._selected_set = crafted
+        self.broadcast(
+            CertRequest(value=self.y_value, view=2, votes=crafted)
+        )
+
+    @staticmethod
+    def craft_admitting_set(
+        votes: Dict[int, SignedVote],
+        y_value: Any,
+        equivocator: int,
+        config: ProtocolConfig,
+        exclude_equivocator: bool = True,
+    ) -> Optional[Tuple[SignedVote, ...]]:
+        """Best-effort subset search, exploiting the attacker's knowledge:
+        put nil votes and ``y`` votes first, pad with as few conflicting
+        votes as possible, and check the honest selection predicate.
+
+        When the target protocol excludes proven equivocators, including
+        the equivocator's vote only stalls selection, so it is dropped;
+        under the E11 ablation (no exclusion) it is a free nil filler."""
+        preferred: List[SignedVote] = []
+        fillers: List[SignedVote] = []
+        for voter in sorted(votes):
+            if voter == equivocator and exclude_equivocator:
+                continue  # including the equivocator only stalls selection
+            signed = votes[voter]
+            if signed.vote is None or signed.vote.value == y_value:
+                preferred.append(signed)
+            else:
+                fillers.append(signed)
+        need = config.vote_quorum
+        if len(preferred) + len(fillers) < need:
+            return None
+        pad = max(0, need - len(preferred))
+        candidate = tuple(preferred + fillers[:pad])
+        votes_map = {sv.voter: sv for sv in candidate}
+        if selection_admits(votes_map, y_value, config, exclude_equivocator):
+            return candidate
+        return None
+
+    def _try_propose(self) -> None:
+        if self._proposed or self._selected_set is None:
+            return
+        if len(self._certacks) < self.config.cert_quorum:
+            return
+        cert = ProgressCertificate(
+            value=self.y_value,
+            view=2,
+            signatures=tuple(
+                self._certacks[s] for s in sorted(self._certacks)
+            ),
+        )
+        self._proposed = True
+        self.broadcast(self.forge.propose(self.y_value, 2, cert))
+        # Add our own (Byzantine) ack so the fast quorum n - t can be
+        # reached even though only n - f processes are correct.
+        self.broadcast(self.forge.ack(self.y_value, 2))

@@ -1,0 +1,81 @@
+"""The paper's contribution: fast Byzantine consensus with n = 5f - 1
+(vanilla, Section 3) and n = 3f + 2t - 1 (generalized, Appendix A).
+"""
+
+from .certificates import (
+    CommitCertificate,
+    ProgressCertificate,
+    commit_certificate_valid,
+    progress_certificate_valid,
+)
+from .config import ProtocolConfig
+from .fastbft import FastBFTProcess, FBFTBase
+from .generalized import GeneralizedFBFTProcess
+from .messages import Ack, AckSig, CertAck, CertRequest, Commit, Propose, Vote
+from .naive_certs import (
+    NaiveProgressCertificate,
+    certificate_distinct_signatures,
+    certificate_signature_count,
+)
+from .quorums import (
+    all_qi_hold,
+    min_processes_disjoint_roles,
+    min_processes_fab,
+    min_processes_fast_bft,
+    min_processes_paxos_crash,
+    min_processes_pbft,
+    qi1_holds,
+    qi2_holds,
+    qi3_holds,
+    quorum_report,
+)
+from .selection import (
+    AnyValueSafe,
+    NeedMoreVotes,
+    Selected,
+    detect_equivocation,
+    run_selection,
+    selection_admits,
+)
+from .votes import SignedVote, VoteRecord, signed_vote_valid, vote_record_valid
+
+__all__ = [
+    "Ack",
+    "AckSig",
+    "AnyValueSafe",
+    "CertAck",
+    "CertRequest",
+    "Commit",
+    "CommitCertificate",
+    "FBFTBase",
+    "FastBFTProcess",
+    "GeneralizedFBFTProcess",
+    "NaiveProgressCertificate",
+    "NeedMoreVotes",
+    "ProgressCertificate",
+    "Propose",
+    "ProtocolConfig",
+    "Selected",
+    "SignedVote",
+    "Vote",
+    "VoteRecord",
+    "all_qi_hold",
+    "certificate_distinct_signatures",
+    "certificate_signature_count",
+    "commit_certificate_valid",
+    "detect_equivocation",
+    "min_processes_disjoint_roles",
+    "min_processes_fab",
+    "min_processes_fast_bft",
+    "min_processes_paxos_crash",
+    "min_processes_pbft",
+    "progress_certificate_valid",
+    "qi1_holds",
+    "qi2_holds",
+    "qi3_holds",
+    "quorum_report",
+    "run_selection",
+    "selection_admits",
+    "signed_vote_valid",
+    "vote_record_valid",
+]

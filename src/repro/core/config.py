@@ -1,0 +1,133 @@
+"""Protocol configuration: the (n, f, t) triple and derived quorum sizes.
+
+The paper's protocols are parameterized by
+
+* ``n`` — total number of processes,
+* ``f`` — maximum number of Byzantine processes tolerated (resilience),
+* ``t`` — fast-path threshold: the protocol decides in two message delays
+  whenever the *actual* number of faults is at most ``t`` (1 <= t <= f).
+
+The requirement is ``n >= max(3f + 2t - 1, 3f + 1)`` (Sections 3 and 3.4).
+For ``t = f`` this is the vanilla ``n >= 5f - 1`` protocol; for ``t = 1`` it
+is the optimally resilient ``n >= 3f + 1`` protocol that stays fast under a
+single Byzantine fault.
+
+``allow_sub_resilient=True`` lets the lower-bound experiments (E4)
+instantiate the protocol *below* the bound, which is exactly how we
+demonstrate Theorem 4.5 executably: the same adversary that is harmless at
+``n = 3f + 2t - 1`` forces disagreement at ``n = 3f + 2t - 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .quorums import (
+    commit_quorum,
+    min_processes_fast_bft,
+)
+
+__all__ = ["ProtocolConfig"]
+
+ProcessId = int
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Static parameters shared by every process in a deployment."""
+
+    n: int
+    f: int
+    t: int = -1  # defaults to f (vanilla 5f - 1 protocol)
+    allow_sub_resilient: bool = False
+
+    def __post_init__(self) -> None:
+        if self.t == -1:
+            object.__setattr__(self, "t", self.f)
+        if self.f < 1:
+            raise ValueError(f"f must be >= 1, got {self.f}")
+        if not (1 <= self.t <= self.f):
+            raise ValueError(f"need 1 <= t <= f, got t={self.t}, f={self.f}")
+        required = min_processes_fast_bft(self.f, self.t)
+        if self.n < required and not self.allow_sub_resilient:
+            raise ValueError(
+                f"n={self.n} is below the bound max(3f+2t-1, 3f+1)={required} "
+                f"for f={self.f}, t={self.t}; pass allow_sub_resilient=True "
+                f"only for lower-bound experiments"
+            )
+        if self.n < self.f + 2:
+            raise ValueError(f"n={self.n} too small to even run (f={self.f})")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def process_ids(self) -> tuple:
+        """All process ids, ``0 .. n-1``."""
+        return tuple(range(self.n))
+
+    def leader_of(self, view: int) -> ProcessId:
+        """The agreed leader map: round-robin over process ids.
+
+        The paper uses ``leader(v) = p_((v mod n)+1)``; with 0-based ids we
+        use the equivalent rotation ``(v - 1) mod n`` so view 1 is led by
+        process 0.
+        """
+        if view < 1:
+            raise ValueError(f"views are numbered from 1, got {view}")
+        return (view - 1) % self.n
+
+    @property
+    def vote_quorum(self) -> int:
+        """Votes a new leader collects during view change: ``n - f``."""
+        return self.n - self.f
+
+    @property
+    def ack_quorum(self) -> int:
+        """Acks needed to decide in the vanilla protocol: ``n - f``."""
+        return self.n - self.f
+
+    @property
+    def fast_quorum(self) -> int:
+        """Acks needed for the generalized fast path: ``n - t``."""
+        return self.n - self.t
+
+    @property
+    def cert_request_targets(self) -> int:
+        """Processes the leader asks to certify its selection: ``2f + 1``."""
+        return 2 * self.f + 1
+
+    @property
+    def cert_quorum(self) -> int:
+        """CertAck signatures forming a progress certificate: ``f + 1``."""
+        return self.f + 1
+
+    @property
+    def commit_quorum(self) -> int:
+        """Signatures/commits for the slow path: ``ceil((n + f + 1) / 2)``."""
+        return commit_quorum(self.n, self.f)
+
+    @property
+    def equivocation_vote_threshold(self) -> int:
+        """Votes for one value (excluding the equivocator) that make it the
+        unique safe choice: ``2f`` vanilla (Section 3.2), ``f + t``
+        generalized (Appendix A.2)."""
+        return 2 * self.f if self.t == self.f else self.f + self.t
+
+    @property
+    def is_vanilla(self) -> bool:
+        """True when t = f, i.e. the Section 3 protocol with n >= 5f - 1."""
+        return self.t == self.f
+
+    @property
+    def meets_bound(self) -> bool:
+        """Whether n satisfies the paper's (tight) lower bound."""
+        return self.n >= min_processes_fast_bft(self.f, self.t)
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n} f={self.f} t={self.t} "
+            f"(vote_q={self.vote_quorum}, fast_q={self.fast_quorum}, "
+            f"commit_q={self.commit_quorum})"
+        )

@@ -1,0 +1,245 @@
+"""Quorum arithmetic and the paper's three quorum-intersection properties.
+
+Everything here is a pure function of (n, f, t), which makes this module
+the executable form of the paper's counting arguments:
+
+* minimum process counts for each protocol family (our protocol, FaB
+  Paxos, PBFT, crash Paxos) — used by experiment E1;
+* the properties (QI1), (QI2), (QI3) from Section 3.3 on which the
+  consistency proof rests — property-tested in the suite and swept at the
+  resilience boundary in experiment E4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "min_processes_fast_bft",
+    "min_processes_fab",
+    "min_processes_disjoint_roles",
+    "min_processes_pbft",
+    "min_processes_paxos_crash",
+    "commit_quorum",
+    "intersection_size",
+    "guaranteed_correct_in_intersection",
+    "qi1_holds",
+    "qi2_holds",
+    "qi3_holds",
+    "all_qi_hold",
+    "QuorumIntersectionReport",
+    "quorum_report",
+]
+
+
+# ----------------------------------------------------------------------
+# Minimum process counts (experiment E1)
+# ----------------------------------------------------------------------
+
+def min_processes_fast_bft(f: int, t: int) -> int:
+    """This paper's protocol: ``max(3f + 2t - 1, 3f + 1)`` (Section 3.4).
+
+    For t = f this is ``5f - 1``; for t = 1 it is ``3f + 1``, the optimum
+    for any partially synchronous Byzantine consensus.
+    """
+    _check_ft(f, t)
+    return max(3 * f + 2 * t - 1, 3 * f + 1)
+
+
+def min_processes_fab(f: int, t: int) -> int:
+    """FaB Paxos (Martin & Alvisi 2006): ``3f + 2t + 1``; ``5f + 1`` at t=f."""
+    _check_ft(f, t)
+    return 3 * f + 2 * t + 1
+
+
+def min_processes_disjoint_roles(f: int, t: int) -> int:
+    """Minimum *acceptors* when proposers are disjoint from acceptors:
+    ``3f + 2t + 1`` (Section 4.4).
+
+    The two-process saving of this paper hinges on the new leader
+    excluding a proven equivocator from the vote count — possible only
+    when the equivocating proposer *is* one of the acceptors.  With even
+    one proposer outside the acceptor set, the modified Theorem 4.5
+    argument (five acceptor groups, the middle three of size ``f``
+    instead of ``f - 1``) shows ``3f + 2t`` acceptors are not enough, so
+    FaB Paxos's ``3f + 2t + 1`` is optimal *for that model*.  Experiment
+    E11's ablation demonstrates the same mechanism executably: disable
+    the exclusion trick and ``3f + 2t - 1`` processes no longer suffice.
+    """
+    _check_ft(f, t)
+    return 3 * f + 2 * t + 1
+
+
+def min_processes_pbft(f: int) -> int:
+    """PBFT (Castro & Liskov 1999): ``3f + 1`` — but 3 message delays."""
+    if f < 0:
+        raise ValueError("f must be >= 0")
+    return 3 * f + 1
+
+
+def min_processes_paxos_crash(f: int) -> int:
+    """Crash-fault Paxos / Viewstamped Replication: ``2f + 1``, 2 delays."""
+    if f < 0:
+        raise ValueError("f must be >= 0")
+    return 2 * f + 1
+
+
+def _check_ft(f: int, t: int) -> None:
+    if f < 1:
+        raise ValueError(f"f must be >= 1, got {f}")
+    if not (1 <= t <= f):
+        raise ValueError(f"need 1 <= t <= f, got t={t}")
+
+
+# ----------------------------------------------------------------------
+# Quorum sizes
+# ----------------------------------------------------------------------
+
+def commit_quorum(n: int, f: int) -> int:
+    """Slow-path quorum ``ceil((n + f + 1) / 2)`` (Appendix A.1).
+
+    Any two such quorums intersect in at least one correct process, and
+    any such quorum intersects any fast quorum of ``n - t`` processes in
+    at least one correct process.
+    """
+    return math.ceil((n + f + 1) / 2)
+
+
+# ----------------------------------------------------------------------
+# Intersection counting
+# ----------------------------------------------------------------------
+
+def intersection_size(n: int, q1: int, q2: int) -> int:
+    """Minimum possible overlap of a ``q1``-set and a ``q2``-set of n ids."""
+    return max(0, q1 + q2 - n)
+
+
+def guaranteed_correct_in_intersection(
+    n: int, q1: int, q2: int, byzantine_in_overlap: int
+) -> int:
+    """Lower bound on *correct* processes in any intersection of a
+    ``q1``-set and a ``q2``-set when at most ``byzantine_in_overlap``
+    members of the overlap can be Byzantine."""
+    return max(0, intersection_size(n, q1, q2) - byzantine_in_overlap)
+
+
+# ----------------------------------------------------------------------
+# The paper's quorum-intersection properties (Section 3.3)
+# ----------------------------------------------------------------------
+
+def qi1_holds(n: int, f: int) -> bool:
+    """(QI1) Any two ``n - f`` quorums share a correct process.
+
+    Requires ``2(n - f) - n >= f + 1``, i.e. ``n >= 3f + 1``.
+    """
+    return guaranteed_correct_in_intersection(n, n - f, n - f, f) >= 1
+
+
+def qi2_holds(n: int, f: int) -> bool:
+    """(QI2) If Q1, Q2 are ``n - f`` quorums and Q2 holds at most ``f - 1``
+    Byzantine processes, the overlap has at least ``2f`` correct processes.
+
+    Requires ``2(n - f) - n >= (f - 1) + 2f``, i.e. ``n >= 5f - 1``.
+    This is the property that lets a leader who has *proof* of one
+    equivocator demand ``2f`` matching votes (Lemma 3.5).
+    """
+    return (
+        guaranteed_correct_in_intersection(n, n - f, n - f, f - 1) >= 2 * f
+    )
+
+
+def qi3_holds(n: int, f: int) -> bool:
+    """(QI3) An ``n - f`` quorum and a ``2f`` set with at most ``f - 1``
+    Byzantine members share a correct process.
+
+    Requires ``(n - f) + 2f - n >= f``, which holds whenever ``n >= 2f``.
+    """
+    return guaranteed_correct_in_intersection(n, n - f, 2 * f, f - 1) >= 1
+
+
+def all_qi_hold(n: int, f: int) -> bool:
+    """All three properties from Section 3.3 — equivalent to ``n >= 5f - 1``
+    for ``f >= 1``."""
+    return qi1_holds(n, f) and qi2_holds(n, f) and qi3_holds(n, f)
+
+
+# ----------------------------------------------------------------------
+# Generalized-protocol intersection facts (Appendix A.3)
+# ----------------------------------------------------------------------
+
+def generalized_fast_vote_overlap(n: int, f: int, t: int) -> int:
+    """Minimum *correct* overlap between a fast quorum (``n - t`` ackers)
+    and a view-change vote set (``n - f`` voters) given at most ``f - 1``
+    Byzantine voters (the equivocator is excluded).
+
+    Appendix A.3 case (3) shows this is at least ``f + t`` whenever
+    ``n >= 3f + 2t - 1`` — which is exactly what makes the ``f + t``
+    selection threshold sound.
+    """
+    return guaranteed_correct_in_intersection(n, n - t, n - f, f - 1)
+
+
+def generalized_commit_overlaps(n: int, f: int, t: int) -> Tuple[int, int, int]:
+    """Correct-overlap guarantees for the slow path (Lemma A.2 et al.):
+
+    returns ``(commit_commit, commit_fast, commit_votes)`` — the minimum
+    number of correct processes shared by two commit quorums, by a commit
+    quorum and a fast quorum, and by a commit quorum and a vote set.
+    """
+    cq = commit_quorum(n, f)
+    return (
+        guaranteed_correct_in_intersection(n, cq, cq, f),
+        guaranteed_correct_in_intersection(n, cq, n - t, f),
+        guaranteed_correct_in_intersection(n, cq, n - f, f),
+    )
+
+
+# ----------------------------------------------------------------------
+# Reporting (used by E1/E4 benchmarks)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QuorumIntersectionReport:
+    """All quorum facts for one (n, f, t) point."""
+
+    n: int
+    f: int
+    t: int
+    qi1: bool
+    qi2: bool
+    qi3: bool
+    fast_vote_overlap: int
+    commit_commit_overlap: int
+    commit_fast_overlap: int
+    meets_bound: bool
+
+    @property
+    def safe_vanilla(self) -> bool:
+        return self.qi1 and self.qi2 and self.qi3
+
+    @property
+    def safe_generalized(self) -> bool:
+        return (
+            self.qi1
+            and self.fast_vote_overlap >= self.f + self.t
+            and self.commit_commit_overlap >= 1
+            and self.commit_fast_overlap >= 1
+        )
+
+
+def quorum_report(n: int, f: int, t: int) -> QuorumIntersectionReport:
+    cc, cf, _cv = generalized_commit_overlaps(n, f, t)
+    return QuorumIntersectionReport(
+        n=n,
+        f=f,
+        t=t,
+        qi1=qi1_holds(n, f),
+        qi2=qi2_holds(n, f),
+        qi3=qi3_holds(n, f),
+        fast_vote_overlap=generalized_fast_vote_overlap(n, f, t),
+        commit_commit_overlap=cc,
+        commit_fast_overlap=cf,
+        meets_bound=n >= min_processes_fast_bft(f, t),
+    )

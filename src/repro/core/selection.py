@@ -1,0 +1,233 @@
+"""The selection algorithm: choosing a safe value during view change.
+
+This is the core novelty of the paper (Section 3.2 and Appendix A.2).  A
+new leader collects ``n - f`` valid votes and must pick a value that is
+*safe* — no other value was or will be decided in a smaller view.
+
+The interesting case is *equivocation*: two valid votes carry different
+values for the same (maximal) view ``w``.  Both carry ``leader(w)``'s
+signature, which is undeniable proof that ``leader(w)`` is Byzantine.
+The leader then re-collects ``n - f`` votes **excluding the equivocator**
+— the trick that buys the two-process resilience improvement over FaB
+Paxos, and the reason the bound only drops when proposers are also
+acceptors (Section 4.4).  With the equivocator excluded, at most ``f - 1``
+Byzantine votes remain, so (QI2)/(QI3) make a ``2f``-vote threshold
+(``f + t`` in the generalized protocol) sufficient evidence that a value
+may have been decided.
+
+The algorithm is implemented as a *pure, deterministic* function of the
+vote set so that certifiers can re-run it verbatim when checking a
+``CertReq`` (:func:`selection_admits`): the leader cannot lie about the
+outcome without at least one correct certifier noticing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple, Union
+
+from .config import ProtocolConfig
+from .votes import SignedVote
+
+__all__ = [
+    "Selected",
+    "AnyValueSafe",
+    "NeedMoreVotes",
+    "SelectionOutcome",
+    "run_selection",
+    "selection_admits",
+    "detect_equivocation",
+]
+
+
+@dataclass(frozen=True)
+class Selected:
+    """Exactly this value must be proposed."""
+
+    value: Any
+    rationale: str
+    excluded: FrozenSet[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class AnyValueSafe:
+    """Any value is safe in the new view; the leader proposes its own input."""
+
+    rationale: str
+    excluded: FrozenSet[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class NeedMoreVotes:
+    """Not enough usable votes yet (e.g. after excluding a proven
+    equivocator); the leader must keep collecting and re-run."""
+
+    excluded: FrozenSet[int]
+    rationale: str
+
+
+SelectionOutcome = Union[Selected, AnyValueSafe, NeedMoreVotes]
+
+
+def detect_equivocation(
+    votes: Mapping[int, SignedVote], view: int
+) -> Optional[Tuple[SignedVote, SignedVote]]:
+    """Return a pair of valid votes proving equivocation in ``view``.
+
+    Two non-nil votes for different values in the same view ``view`` can
+    only coexist if ``leader(view)`` signed both proposals — undeniable
+    misbehaviour evidence ``gamma = (m1, m2)`` from Section 3.2.
+    """
+    seen: Dict[Any, SignedVote] = {}
+    for signed in votes.values():
+        if signed.vote is None or signed.vote.view != view:
+            continue
+        other = seen.get(signed.vote.value)
+        if other is None:
+            seen[signed.vote.value] = signed
+    values = list(seen.values())
+    if len(values) >= 2:
+        return values[0], values[1]
+    return None
+
+
+def run_selection(
+    votes: Mapping[int, SignedVote],
+    config: ProtocolConfig,
+    exclude_equivocator: bool = True,
+) -> SelectionOutcome:
+    """Run the selection algorithm on a set of *already validated* votes.
+
+    ``votes`` maps voter id to its signed vote; the caller is responsible
+    for having checked :func:`~repro.core.votes.signed_vote_valid` on each
+    entry (the certifier does the same before re-running this function).
+
+    The loop structure mirrors the paper: compute the maximal vote view
+    ``w``; if a single value is voted at ``w`` select it; on equivocation
+    exclude ``leader(w)`` and restart over the remaining votes (demanding
+    ``n - f`` of them), falling back to the threshold rule and finally to
+    "any value safe".
+
+    ``exclude_equivocator=False`` disables the paper's key trick (the
+    ablation of experiment E11): the proven equivocator's own vote is
+    kept in the pool, at most ``f`` (not ``f - 1``) of the counted votes
+    may be Byzantine, and the ``2f``/``f + t`` thresholds are no longer
+    sound at ``n = 3f + 2t - 1`` — the splice adversary then wins *at*
+    the bound, which is exactly why FaB-style protocols (whose proposer
+    is not an acceptor and thus cannot be excluded) need two more
+    processes (Section 4.4).
+    """
+    excluded: set[int] = set()
+    while True:
+        pool = {pid: sv for pid, sv in votes.items() if pid not in excluded}
+        if len(pool) < config.vote_quorum:
+            return NeedMoreVotes(
+                excluded=frozenset(excluded),
+                rationale=(
+                    f"have {len(pool)} usable votes, need {config.vote_quorum} "
+                    f"(excluding {sorted(excluded)})"
+                ),
+            )
+        non_nil = [sv for sv in pool.values() if sv.vote is not None]
+        if not non_nil:
+            # Lemma 3.1: n - f nil votes imply nothing was decided earlier.
+            return AnyValueSafe(
+                rationale="all votes nil", excluded=frozenset(excluded)
+            )
+        w = max(sv.vote.view for sv in non_nil)
+        at_w = [sv for sv in non_nil if sv.vote.view == w]
+        values_at_w = {sv.vote.value for sv in at_w}
+        if len(values_at_w) == 1:
+            # Lemma 3.3: unique value at the maximal view is safe.
+            return Selected(
+                value=at_w[0].vote.value,
+                rationale=f"unique value at max view {w}",
+                excluded=frozenset(excluded),
+            )
+        # Equivocation: leader(w) provably Byzantine (Section 3.2).
+        equivocator = config.leader_of(w)
+        if exclude_equivocator and equivocator not in excluded:
+            excluded.add(equivocator)
+            continue  # restart, possibly demanding one more vote
+        # leader(w) is already excluded, yet two values survive at view w:
+        # votes from processes that *adopted* the equivocating proposals.
+        return _resolve_equivocation(pool, w, frozenset(excluded), config)
+
+
+def _resolve_equivocation(
+    pool: Mapping[int, SignedVote],
+    w: int,
+    excluded: FrozenSet[int],
+    config: ProtocolConfig,
+) -> SelectionOutcome:
+    """Cases (1)-(3) once the equivocator's own vote is excluded."""
+    at_w = [sv for sv in pool.values() if sv.vote is not None and sv.vote.view == w]
+
+    if not config.is_vanilla:
+        # Generalized case (1): a commit certificate for (x, w) pins x.
+        for sv in pool.values():
+            cc = sv.vote.commit_cert if sv.vote is not None else None
+            if cc is not None and cc.view == w:
+                return Selected(
+                    value=cc.value,
+                    rationale=f"commit certificate for view {w}",
+                    excluded=excluded,
+                )
+
+    # Vanilla case (1) / generalized case (2): enough votes for one value.
+    threshold = config.equivocation_vote_threshold
+    counts: Dict[Any, int] = {}
+    for sv in at_w:
+        counts[sv.vote.value] = counts.get(sv.vote.value, 0) + 1
+    winners = [value for value, count in counts.items() if count >= threshold]
+    if winners:
+        # With exactly n - f votes (the paper's setting) at most one value
+        # can reach the threshold (2*threshold > n - f).  A leader may
+        # exhibit more votes, where a tie is possible — but only when
+        # *neither* value was decided (a decided value's rival can never
+        # reach the threshold among genuine votes), so any deterministic
+        # pick is safe.  Order by count, then canonical serialization, so
+        # leader and certifiers agree independent of dict order.
+        from ..crypto.keys import canonical_bytes
+
+        winner = max(winners, key=lambda v: (counts[v], canonical_bytes(v)))
+        return Selected(
+            value=winner,
+            rationale=(
+                f"{counts[winner]} >= {threshold} votes at view {w} "
+                f"excluding equivocator"
+            ),
+            excluded=excluded,
+        )
+
+    # Vanilla case (2) / generalized case (3): nothing can have been
+    # decided in any view < v (Lemma 3.5 / Appendix A.3 case 3).
+    return AnyValueSafe(
+        rationale=(
+            f"equivocation at view {w}, no value reached "
+            f"{threshold} votes"
+        ),
+        excluded=excluded,
+    )
+
+
+def selection_admits(
+    votes: Mapping[int, SignedVote],
+    value: Any,
+    config: ProtocolConfig,
+    exclude_equivocator: bool = True,
+) -> bool:
+    """Would an honest run of the selection algorithm permit proposing
+    ``value`` given exactly this vote set?
+
+    This is the certifier's check before signing a ``CertAck``
+    (Section 3.2, "creating the progress certificate"): re-run the
+    deterministic selection and accept iff the outcome forces ``value`` or
+    declares every value safe.
+    """
+    outcome = run_selection(votes, config, exclude_equivocator)
+    if isinstance(outcome, Selected):
+        return outcome.value == value
+    if isinstance(outcome, AnyValueSafe):
+        return True
+    return False

@@ -1,0 +1,8 @@
+"""Simulated cryptography: authenticated signatures within the simulator.
+
+See :mod:`repro.crypto.keys` for the model and its justification.
+"""
+
+from .keys import KeyRegistry, Signature, Signer, canonical_bytes
+
+__all__ = ["KeyRegistry", "Signature", "Signer", "canonical_bytes"]

@@ -1,0 +1,160 @@
+"""Key management for the simulated signature scheme.
+
+The paper assumes each process holds a private key whose public counterpart
+everyone knows, and a computationally bounded adversary that cannot forge
+correct processes' signatures.  Inside a deterministic simulation we get
+the same guarantee *by construction*: a :class:`KeyRegistry` holds one
+secret per process, signing requires the secret, and the adversary API only
+ever hands Byzantine processes their own :class:`Signer`.  Verification
+needs no secret — it goes through the registry, mirroring public keys.
+
+The scheme is HMAC-like (SHA-256 over secret || canonical message bytes).
+It is *not* cryptographically meaningful outside the simulation and is not
+intended to be; see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Tuple
+
+__all__ = ["KeyRegistry", "Signature", "Signer", "canonical_bytes"]
+
+ProcessId = int
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Deterministically serialize a message payload for signing.
+
+    Supports the value types protocol messages are built from: ``None``,
+    ``bool``, ``int``, ``float``, ``str``, ``bytes``, tuples/lists, frozensets
+    (sorted by serialization), dicts (sorted by key serialization), and any
+    object exposing ``signing_fields()`` (the protocol dataclasses).
+    Type tags prevent cross-type collisions such as ``1`` vs ``"1"``.
+    """
+    if obj is None:
+        return b"N"
+    if isinstance(obj, bool):
+        return b"B1" if obj else b"B0"
+    if isinstance(obj, int):
+        data = str(obj).encode()
+        return b"I" + len(data).to_bytes(4, "big") + data
+    if isinstance(obj, float):
+        data = repr(obj).encode()
+        return b"F" + len(data).to_bytes(4, "big") + data
+    if isinstance(obj, str):
+        data = obj.encode()
+        return b"S" + len(data).to_bytes(4, "big") + data
+    if isinstance(obj, bytes):
+        return b"Y" + len(obj).to_bytes(4, "big") + obj
+    if isinstance(obj, (tuple, list)):
+        parts = [canonical_bytes(item) for item in obj]
+        body = b"".join(parts)
+        return b"T" + len(parts).to_bytes(4, "big") + body
+    if isinstance(obj, (set, frozenset)):
+        parts = sorted(canonical_bytes(item) for item in obj)
+        body = b"".join(parts)
+        return b"E" + len(parts).to_bytes(4, "big") + body
+    if isinstance(obj, dict):
+        items = sorted(
+            (canonical_bytes(k), canonical_bytes(v)) for k, v in obj.items()
+        )
+        body = b"".join(k + v for k, v in items)
+        return b"D" + len(items).to_bytes(4, "big") + body
+    fields = getattr(obj, "signing_fields", None)
+    if callable(fields):
+        tag = type(obj).__name__.encode()
+        body = canonical_bytes(fields())
+        return b"O" + len(tag).to_bytes(2, "big") + tag + body
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over some payload by ``signer``.
+
+    The ``digest`` binds signer, payload and the registry's domain tag.
+    Signatures are values: hashable, comparable, safe to embed in messages.
+    """
+
+    signer: ProcessId
+    digest: bytes
+
+    def signing_fields(self) -> Tuple[Any, ...]:
+        return (self.signer, self.digest)
+
+
+class Signer:
+    """Signing capability for one process.  Hand it only to its owner."""
+
+    def __init__(self, pid: ProcessId, secret: bytes) -> None:
+        self._pid = pid
+        self._secret = secret
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    def sign(self, payload: Any) -> Signature:
+        digest = hmac.new(
+            self._secret, canonical_bytes(payload), hashlib.sha256
+        ).digest()
+        return Signature(signer=self._pid, digest=digest)
+
+
+class KeyRegistry:
+    """Key material for a set of processes plus public verification.
+
+    >>> reg = KeyRegistry.for_processes(range(4))
+    >>> sig = reg.signer(2).sign(("propose", "x", 1))
+    >>> reg.verify(sig, ("propose", "x", 1))
+    True
+    >>> reg.verify(sig, ("propose", "y", 1))
+    False
+    """
+
+    def __init__(self, domain: bytes = b"repro-fbft") -> None:
+        self._domain = domain
+        self._secrets: Dict[ProcessId, bytes] = {}
+
+    @classmethod
+    def for_processes(
+        cls, pids: Iterable[ProcessId], domain: bytes = b"repro-fbft"
+    ) -> "KeyRegistry":
+        registry = cls(domain=domain)
+        for pid in pids:
+            registry.add_process(pid)
+        return registry
+
+    def add_process(self, pid: ProcessId) -> None:
+        if pid in self._secrets:
+            raise ValueError(f"process {pid} already has a key")
+        # Deterministic per-process secret: fine inside the simulation, the
+        # adversary has no oracle access to the registry internals.
+        self._secrets[pid] = hashlib.sha256(
+            self._domain + b"|" + str(pid).encode()
+        ).digest()
+
+    @property
+    def process_ids(self) -> Tuple[ProcessId, ...]:
+        return tuple(sorted(self._secrets))
+
+    def signer(self, pid: ProcessId) -> Signer:
+        """Return the signing capability of ``pid`` (private: owner only)."""
+        if pid not in self._secrets:
+            raise KeyError(f"no key for process {pid}")
+        return Signer(pid, self._secrets[pid])
+
+    def verify(self, signature: Signature, payload: Any) -> bool:
+        """Check that ``signature`` is ``signer``'s signature over ``payload``."""
+        secret = self._secrets.get(signature.signer)
+        if secret is None:
+            return False
+        expected = hmac.new(secret, canonical_bytes(payload), hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature.digest)
+
+    def verify_all(self, signatures: Iterable[Signature], payload: Any) -> bool:
+        """Check every signature in the set verifies over ``payload``."""
+        return all(self.verify(sig, payload) for sig in signatures)

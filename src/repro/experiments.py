@@ -1,0 +1,174 @@
+"""Command-line experiment runner: regenerate the paper's results.
+
+Usage::
+
+    python -m repro.experiments              # everything
+    python -m repro.experiments resilience   # one experiment
+    python -m repro.experiments --list
+
+Each experiment prints the table from EXPERIMENTS.md.  The benchmark
+suite (``pytest benchmarks/``) runs the same computations with timing
+and assertions; this module is the quick, dependency-free way to *see*
+the results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .analysis import (
+    PROTOCOLS,
+    build_protocol,
+    format_table,
+    repeat_latency,
+    run_common_case,
+)
+from .core.quorums import min_processes_fast_bft, quorum_report
+from .lowerbound import run_splice_attack
+from .sim.network import RandomDelay
+
+__all__ = ["EXPERIMENTS", "main"]
+
+
+def resilience() -> str:
+    """E1: minimum process counts per protocol family."""
+    rows = []
+    for f in (1, 2, 3, 4, 5):
+        for t in sorted({1, f}):
+            rows.append(
+                [f, t]
+                + [
+                    PROTOCOLS[key].min_n(f, t)
+                    for key in ("fbft", "fab", "pbft", "paxos")
+                ]
+            )
+    return format_table(
+        ["f", "t", "FBFT (ours)", "FaB", "PBFT", "Paxos"], rows
+    )
+
+
+def latency() -> str:
+    """E6: common-case latency at f = 1 (delays + randomized time)."""
+    rows = []
+    for key in ("fbft", "fab", "pbft", "paxos", "optimistic"):
+        spec = PROTOCOLS[key]
+        delays = run_common_case(build_protocol(key, f=1)).delays
+        stats = repeat_latency(
+            lambda key=key: build_protocol(key, f=1),
+            runs=15,
+            delay_model_factory=lambda run: RandomDelay(0.5, 1.5, seed=run),
+        )
+        rows.append(
+            [spec.name, spec.min_n(1, 1), delays, round(stats.mean, 3)]
+        )
+    return format_table(["protocol", "n", "delays", "mean latency"], rows)
+
+
+def lower_bound() -> str:
+    """E4: the splice adversary at and below the bound."""
+    rows = []
+    for f, t in [(2, 2), (3, 2), (2, 1)]:
+        bound = min_processes_fast_bft(f, t)
+        below = run_splice_attack(f=f, t=t, n=bound - 1)
+        at = run_splice_attack(f=f, t=t, n=bound)
+        rows.append(
+            [
+                f, t,
+                f"n={bound - 1}",
+                "DISAGREEMENT" if below.violated else "safe",
+                f"n={bound}",
+                "DISAGREEMENT" if at.violated else "safe",
+            ]
+        )
+    return format_table(
+        ["f", "t", "below bound", "outcome", "at bound", "outcome"], rows
+    )
+
+
+def ablation() -> str:
+    """E11: the equivocator-exclusion trick, on and off, at the bound."""
+    rows = []
+    for f, t in [(2, 2), (3, 2)]:
+        bound = min_processes_fast_bft(f, t)
+        on = run_splice_attack(f=f, t=t, n=bound, exclude_equivocator=True)
+        off = run_splice_attack(f=f, t=t, n=bound, exclude_equivocator=False)
+        rows.append(
+            [
+                f, t, bound,
+                "safe" if on.safe else "DISAGREEMENT",
+                "safe" if off.safe else "DISAGREEMENT",
+            ]
+        )
+    return format_table(
+        ["f", "t", "n", "with exclusion", "without exclusion"], rows
+    )
+
+
+def quorums() -> str:
+    """E4a: quorum-intersection properties around the bound."""
+    rows = []
+    for f, t in [(1, 1), (2, 2), (3, 2)]:
+        bound = min_processes_fast_bft(f, t)
+        for n in (bound - 1, bound):
+            report = quorum_report(n, f, t)
+            rows.append(
+                [
+                    f, t, n,
+                    report.qi1, report.qi2, report.qi3,
+                    report.fast_vote_overlap, f + t,
+                    "yes" if report.meets_bound else "NO",
+                ]
+            )
+    return format_table(
+        ["f", "t", "n", "QI1", "QI2", "QI3", "overlap", "need", "bound?"],
+        rows,
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "resilience": resilience,
+    "latency": latency,
+    "lower-bound": lower_bound,
+    "ablation": ablation,
+    "quorums": quorums,
+}
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"which experiments to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name, fn in sorted(EXPERIMENTS.items()):
+            print(f"{name:<12} {fn.__doc__.strip().splitlines()[0]}")
+        return 0
+    names = args.experiments or sorted(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+            )
+        fn = EXPERIMENTS[name]
+        title = fn.__doc__.strip().splitlines()[0]
+        print(f"\n=== {name}: {title}\n")
+        print(fn())
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

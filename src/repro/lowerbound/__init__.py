@@ -1,0 +1,39 @@
+"""Section 4 (the lower bound), executable.
+
+* :mod:`~repro.lowerbound.executions` — T-faulty two-step executions;
+* :mod:`~repro.lowerbound.checker` — the t-two-step property check;
+* :mod:`~repro.lowerbound.influential` — Lemma 4.4's search;
+* :mod:`~repro.lowerbound.splice_attack` — Theorem 4.5 as an attack that
+  succeeds at ``n = 3f + 2t - 2`` and fails at ``n = 3f + 2t - 1``.
+"""
+
+from .checker import (
+    TwoStepReport,
+    all_fault_sets,
+    check_t_two_step,
+    suspect_fault_sets,
+)
+from .executions import (
+    InitialConfiguration,
+    TFaultyResult,
+    binary_configuration,
+    run_t_faulty_execution,
+)
+from .influential import InfluentialWitness, find_influential_process
+from .splice_attack import SpliceOutcome, run_splice_attack, splice_boundary_demo
+
+__all__ = [
+    "InfluentialWitness",
+    "InitialConfiguration",
+    "SpliceOutcome",
+    "TFaultyResult",
+    "TwoStepReport",
+    "all_fault_sets",
+    "binary_configuration",
+    "check_t_two_step",
+    "find_influential_process",
+    "run_splice_attack",
+    "run_t_faulty_execution",
+    "splice_boundary_demo",
+    "suspect_fault_sets",
+]

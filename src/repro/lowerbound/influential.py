@@ -1,0 +1,117 @@
+"""Influential-process search — Lemma 4.4, executable.
+
+A process ``p`` is *influential* if flipping only ``p``'s input can flip
+the consensus value of T-faulty two-step executions whose fault sets
+avoid ``p`` and are disjoint.  Lemma 4.4 proves every t-two-step protocol
+has one, by walking the binary configurations ``I_0 .. I_n`` (first ``i``
+processes propose 1) and locating the first index ``j`` where some fault
+set yields consensus value 1.
+
+This module performs that walk on a concrete protocol.  For our
+leader-based protocol the search lands on the first-view leader —
+process 0 — whose input is what the fast path decides; the witness it
+returns is exactly the object Theorem 4.5's splice construction consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from .executions import (
+    InitialConfiguration,
+    ProtocolFactory,
+    binary_configuration,
+    run_t_faulty_execution,
+)
+
+__all__ = ["InfluentialWitness", "find_influential_process"]
+
+
+@dataclass(frozen=True)
+class InfluentialWitness:
+    """Everything the definition of "influential" requires, made concrete.
+
+    Executions ``rho0`` (from ``config0``, faults ``t0_set``, value
+    ``value0``) and ``rho1`` (from ``config1``, faults ``t1_set``, value
+    ``value1``) differ only in ``pid``'s input yet decide differently;
+    the fault sets are disjoint and avoid ``pid``.
+    """
+
+    pid: int
+    config0: InitialConfiguration
+    config1: InitialConfiguration
+    t0_set: Tuple[int, ...]
+    t1_set: Tuple[int, ...]
+    value0: Any
+    value1: Any
+
+    def check(self) -> bool:
+        """Re-validate the witness's structural side conditions."""
+        if self.value0 == self.value1:
+            return False
+        if set(self.t0_set) & set(self.t1_set):
+            return False
+        if self.pid in self.t0_set or self.pid in self.t1_set:
+            return False
+        diffs = [
+            i
+            for i in range(self.config0.n)
+            if self.config0.input_of(i) != self.config1.input_of(i)
+        ]
+        return diffs == [self.pid]
+
+
+def _fault_sets_avoiding(
+    n: int, t: int, avoid: frozenset, limit: int
+) -> List[Tuple[int, ...]]:
+    candidates = (pid for pid in range(n) if pid not in avoid)
+    return list(itertools.islice(itertools.combinations(candidates, t), limit))
+
+
+def find_influential_process(
+    factory: ProtocolFactory,
+    n: int,
+    t: int,
+    delta: float = 1.0,
+    max_fault_sets: int = 16,
+) -> Optional[InfluentialWitness]:
+    """Walk ``I_0 .. I_n`` (Lemma 4.4) and return an influential witness.
+
+    Returns ``None`` only if the protocol under test is not t-two-step on
+    the schedules tried (every t-two-step protocol has a witness).
+    """
+    # pred(j): some T1 avoiding p_j yields consensus value 1 from I_j.
+    witness_t1: Optional[Tuple[int, ...]] = None
+    j: Optional[int] = None
+    for i in range(1, n + 1):
+        configuration = binary_configuration(n, i)
+        pid = i - 1  # p_i in the paper's 1-based indexing
+        for t1 in _fault_sets_avoiding(n, t, frozenset({pid}), max_fault_sets):
+            result = run_t_faulty_execution(factory, configuration, t1, delta)
+            if result.two_step and result.consensus_value == 1:
+                witness_t1 = t1
+                j = i
+                break
+        if j is not None:
+            break
+    if j is None or witness_t1 is None:
+        return None
+    pid = j - 1
+    config1 = binary_configuration(n, j)
+    config0 = binary_configuration(n, j - 1)
+    avoid = frozenset(witness_t1) | {pid} | ({pid - 1} if j > 1 else set())
+    for t0 in _fault_sets_avoiding(n, t, avoid, max_fault_sets):
+        result = run_t_faulty_execution(factory, config0, t0, delta)
+        if result.two_step and result.consensus_value != 1:
+            return InfluentialWitness(
+                pid=pid,
+                config0=config0,
+                config1=config1,
+                t0_set=tuple(t0),
+                t1_set=tuple(witness_t1),
+                value0=result.consensus_value,
+                value1=1,
+            )
+    return None

@@ -1,0 +1,236 @@
+"""The executable Theorem 4.5: disagreement at n = 3f + 2t - 2.
+
+This module assembles the full splice attack against *our own protocol*
+run one process below the bound, demonstrating the lower bound the way
+the paper's Figures 2-4 do on paper:
+
+* the influential process — the view-1 leader ``q`` — equivocates,
+  showing ``x`` to one side of the system and ``y`` to the other;
+* ``f - 1`` Byzantine companions acknowledge ``x`` towards the x-side, so
+  the x-side correct processes decide ``x`` fast (this plays the role of
+  executions rho1/rho2 deciding 1);
+* after the view change, the Byzantine leader of view 2 presents a
+  carefully chosen subset of genuine, validly signed votes under which
+  the honest selection algorithm *admits* ``y`` — possible below the
+  bound because after excluding the proven equivocator, only
+  ``(n - f) - (f - 1) - t = f + t - 1`` x-votes are forced into any
+  ``n - f`` vote set, one short of the ``f + t`` threshold (``2f`` in the
+  vanilla protocol);
+* correct processes certify and acknowledge ``y`` — disagreement.
+
+Run the *same adversary* at ``n = 3f + 2t - 1`` and the crafted subset
+does not exist: every admissible vote set pins ``x``, the attack leader
+can only stay silent, and a later correct leader re-proposes ``x``.
+``run_splice_attack`` returns which of the two outcomes happened, and the
+benchmark/test suite asserts the flip at exactly the bound.
+
+The construction needs ``f >= 2``; for ``t <= 1`` the bound
+``3f + 2t - 2 <= 3f`` is already below the classic ``3f + 1`` bound
+(Theorem 4.5's easy case), so there is nothing to attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..byzantine.behaviors import ByzantineForge, EquivocatingLeader, ScriptedSend
+from ..byzantine.splice import SpliceCompanion, SpliceViewTwoLeader
+from ..core.config import ProtocolConfig
+from ..core.fastbft import FastBFTProcess
+from ..core.generalized import GeneralizedFBFTProcess
+from ..crypto.keys import KeyRegistry
+from ..sim.network import SynchronousDelay
+from ..sim.process import Process
+from ..sim.runner import Cluster
+from ..sim.trace import ConsistencyViolation
+
+__all__ = ["SpliceOutcome", "run_splice_attack", "splice_boundary_demo"]
+
+X_VALUE = "x"
+Y_VALUE = "y"
+
+
+@dataclass(frozen=True)
+class SpliceOutcome:
+    """Result of one splice-attack run."""
+
+    n: int
+    f: int
+    t: int
+    violated: bool
+    fast_decisions: Tuple[Tuple[int, Any, float], ...]
+    final_value: Optional[Any]
+    detail: str
+
+    @property
+    def safe(self) -> bool:
+        return not self.violated
+
+
+def run_splice_attack(
+    f: int,
+    t: Optional[int] = None,
+    n: Optional[int] = None,
+    delta: float = 1.0,
+    base_timeout: float = 12.0,
+    horizon: float = 400.0,
+    exclude_equivocator: bool = True,
+) -> SpliceOutcome:
+    """Run the splice adversary against our protocol at size ``n``.
+
+    Defaults: ``t = f`` (vanilla protocol) and ``n = 3f + 2t - 2`` (one
+    below the bound).  Returns whether consistency was violated.
+
+    ``exclude_equivocator=False`` runs the E11 ablation: the correct
+    processes use the selection variant *without* the paper's
+    equivocator-exclusion trick, and the adversary additionally exploits
+    the equivocator's own lying nil vote — at ``n = 3f + 2t - 1`` the
+    attack then succeeds, demonstrating that the trick is what the two
+    saved processes are paid for.
+    """
+    if t is None:
+        t = f
+    if f < 2 or t < 2 and t != f:
+        pass  # validated below in detail
+    if f < 2:
+        raise ValueError("the splice construction needs f >= 2")
+    if t < 1 or t > f:
+        raise ValueError(f"need 1 <= t <= f, got t={t}")
+    if n is None:
+        n = 3 * f + 2 * t - 2
+    min_n = 3 * f + 2 * t - 2
+    if n < min_n:
+        raise ValueError(f"n={n} below the attack's structure (needs >= {min_n})")
+
+    config = ProtocolConfig(n=n, f=f, t=t, allow_sub_resilient=True)
+    registry = KeyRegistry.for_processes(config.process_ids)
+
+    # Roles (see module docstring).  Byzantine: q = 0 plus pids 1..f-1.
+    equivocator = 0
+    byzantine = list(range(f))
+    view2_leader = config.leader_of(2)
+    assert view2_leader == 1, "round-robin leader map puts view 2 on pid 1"
+    correct = [pid for pid in range(n) if pid not in byzantine]
+    x_count = n - t - f  # correct processes that must decide x fast
+    x_group = tuple(correct[:x_count])
+    y_group = tuple(correct[x_count:])
+    assert len(y_group) == t
+
+    vanilla = t == f
+    proto_cls = FastBFTProcess if vanilla else GeneralizedFBFTProcess
+
+    processes: List[Process] = []
+    # q: equivocating leader of view 1.  It acknowledges x towards the
+    # x-side and later supports the view change with a wish.
+    assignments = {pid: X_VALUE for pid in x_group}
+    assignments.update({pid: Y_VALUE for pid in y_group})
+    forge_q = ByzantineForge(equivocator, registry, config)
+    extra_script = []
+    if not exclude_equivocator:
+        # Ablation: the equivocator lies to the new leader with a nil
+        # vote of its own — usable filler once exclusion is disabled.
+        extra_script.append(
+            ScriptedSend(
+                time=base_timeout + delta,
+                to=(view2_leader,),
+                payload=forge_q.vote_message(None, 2),
+            )
+        )
+    processes.append(
+        EquivocatingLeader(
+            pid=equivocator,
+            registry=registry,
+            config=config,
+            view=1,
+            assignments=assignments,
+            ack_value=X_VALUE,
+            ack_to=x_group,
+            ack_time=delta,
+            wishes=[(base_timeout - delta, 2)],
+            extra_script=extra_script,
+        )
+    )
+    # pid 1: Byzantine leader of view 2 pushing y.
+    processes.append(
+        SpliceViewTwoLeader(
+            pid=view2_leader,
+            registry=registry,
+            config=config,
+            x_value=X_VALUE,
+            y_value=Y_VALUE,
+            x_group=x_group,
+            equivocator=equivocator,
+            ack_time=delta,
+            wish_time=base_timeout - delta,
+            exclude_equivocator=exclude_equivocator,
+        )
+    )
+    # Remaining companions (f - 2 of them, when f > 2).
+    for pid in byzantine[2:]:
+        processes.append(
+            SpliceCompanion(
+                pid=pid,
+                registry=registry,
+                config=config,
+                x_value=X_VALUE,
+                x_group=x_group,
+                leader_pid=view2_leader,
+                ack_time=delta,
+                vote_time=base_timeout + delta,
+                wish_time=base_timeout - delta,
+            )
+        )
+    # Correct processes run the real protocol, inputs irrelevant.
+    for pid in correct:
+        processes.append(
+            proto_cls(
+                pid,
+                config,
+                registry,
+                input_value=f"input-{pid}",
+                base_timeout=base_timeout,
+                exclude_equivocator=exclude_equivocator,
+            )
+        )
+
+    cluster = Cluster(processes, delay_model=SynchronousDelay(delta))
+    violated = False
+    detail = ""
+    try:
+        cluster.run(until=horizon)
+        cluster.trace.check_agreement(correct)
+    except ConsistencyViolation as exc:
+        violated = True
+        detail = str(exc)
+
+    fast = tuple(
+        (d.pid, d.value, d.time)
+        for d in cluster.trace.decisions
+        if d.pid in correct and d.time <= 2 * delta + 1e-9
+    )
+    final_value = None
+    if not violated:
+        final_value = cluster.trace.check_agreement(correct)
+    return SpliceOutcome(
+        n=n,
+        f=f,
+        t=t,
+        violated=violated,
+        fast_decisions=fast,
+        final_value=final_value,
+        detail=detail,
+    )
+
+
+def splice_boundary_demo(f: int, t: Optional[int] = None) -> Tuple[SpliceOutcome, SpliceOutcome]:
+    """Run the attack one process below the bound and at the bound.
+
+    Returns ``(below, at)``; the paper's Theorem 4.5 plus the protocol's
+    correctness proof predict ``below.violated and at.safe``.
+    """
+    if t is None:
+        t = f
+    below = run_splice_attack(f=f, t=t, n=3 * f + 2 * t - 2)
+    at = run_splice_attack(f=f, t=t, n=3 * f + 2 * t - 1)
+    return below, at

@@ -1,0 +1,272 @@
+"""Simulated point-to-point network with pluggable delay models.
+
+The paper assumes reliable, authenticated channels in a *partially
+synchronous* system: there is a bound ``DELTA`` on message delay that holds
+from some unknown global stabilization time (GST) onward.  This module
+models exactly that:
+
+* :class:`SynchronousDelay` — every message takes a fixed delay (the
+  "common case" the paper's latency claims are about).
+* :class:`RoundSynchronousDelay` — messages sent in round ``i`` (the
+  interval ``[(i-1)*DELTA, i*DELTA)``) are delivered exactly at ``i*DELTA``.
+  This is the schedule used throughout Section 4's lower-bound executions.
+* :class:`PartialSynchronyDelay` — before GST delays are drawn from an
+  adversary-friendly distribution (bounded, so channels stay reliable);
+  after GST every delay is at most ``DELTA``.
+* :class:`RandomDelay` — random delays for latency benchmarks.
+
+An :class:`Interceptor` hook lets an adversary re-time (but never forge,
+modify, or drop) individual messages, which is how the lower-bound splice
+executions steer deliveries.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from .events import Simulator
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "DelayModel",
+    "SynchronousDelay",
+    "RoundSynchronousDelay",
+    "PartialSynchronyDelay",
+    "RandomDelay",
+    "Envelope",
+    "Interceptor",
+    "Network",
+    "NetworkStats",
+]
+
+#: Default synchrony bound used across examples and benchmarks (arbitrary
+#: simulated time units; think "milliseconds").
+DEFAULT_DELTA = 1.0
+
+ProcessId = int
+
+
+class DelayModel(Protocol):
+    """Strategy deciding how long a message spends in transit."""
+
+    def delay(self, src: ProcessId, dst: ProcessId, send_time: float) -> float:
+        """Return the transit delay (>= 0) for a message sent now."""
+        ...
+
+
+@dataclass(frozen=True)
+class SynchronousDelay:
+    """Every message takes exactly ``delta`` time units."""
+
+    delta: float = DEFAULT_DELTA
+
+    def delay(self, src: ProcessId, dst: ProcessId, send_time: float) -> float:
+        return self.delta
+
+
+@dataclass(frozen=True)
+class RoundSynchronousDelay:
+    """Lock-step rounds as in the lower-bound proof (Section 4.1).
+
+    A message sent during round ``i`` — the half-open interval
+    ``[(i-1)*delta, i*delta)`` — is delivered precisely at the beginning of
+    round ``i+1``, i.e. at time ``i*delta``.  A message sent exactly on a
+    round boundary ``i*delta`` belongs to round ``i+1`` and is delivered at
+    ``(i+1)*delta``.
+    """
+
+    delta: float = DEFAULT_DELTA
+
+    def delivery_time(self, send_time: float) -> float:
+        round_index = math.floor(send_time / self.delta) + 1
+        return round_index * self.delta
+
+    def delay(self, src: ProcessId, dst: ProcessId, send_time: float) -> float:
+        return self.delivery_time(send_time) - send_time
+
+
+@dataclass
+class PartialSynchronyDelay:
+    """Partial synchrony: arbitrary (bounded) delays before GST, ``delta`` after.
+
+    Before GST, each message's delay is drawn uniformly from
+    ``[delta, pre_gst_max]`` using a seeded RNG (deterministic).  A message
+    sent before GST is additionally guaranteed to arrive no later than
+    ``gst + delta`` — the standard "messages in flight at GST are delivered
+    within delta of GST" convention, which keeps channels reliable.
+    """
+
+    delta: float = DEFAULT_DELTA
+    gst: float = 0.0
+    pre_gst_max: float = 50.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def delay(self, src: ProcessId, dst: ProcessId, send_time: float) -> float:
+        if send_time >= self.gst:
+            return self.delta
+        raw = self._rng.uniform(self.delta, self.pre_gst_max)
+        arrival = min(send_time + raw, self.gst + self.delta)
+        return max(arrival - send_time, 0.0)
+
+
+@dataclass
+class RandomDelay:
+    """Random delays in ``[min_delay, max_delay]`` for latency experiments."""
+
+    min_delay: float = 0.5
+    max_delay: float = 1.5
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ValueError("need 0 <= min_delay <= max_delay")
+        self._rng = random.Random(self.seed)
+
+    def delay(self, src: ProcessId, dst: ProcessId, send_time: float) -> float:
+        return self._rng.uniform(self.min_delay, self.max_delay)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in transit.  Channels are authenticated: ``src`` is trusted."""
+
+    src: ProcessId
+    dst: ProcessId
+    payload: Any
+    send_time: float
+    deliver_time: float
+
+
+#: An interceptor may return a replacement delivery time for the envelope
+#: (to delay or reorder it) or ``None`` to accept the delay model's choice.
+#: Interceptors cannot drop messages: returning ``math.inf`` is rejected.
+Interceptor = Callable[[Envelope], Optional[float]]
+
+
+@dataclass
+class NetworkStats:
+    """Counters the analysis layer reads after a run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    bytes_sent: int = 0
+
+
+class Network:
+    """Reliable authenticated point-to-point message transport.
+
+    Processes register a delivery callback; :meth:`send` schedules delivery
+    on the simulator according to the delay model (possibly re-timed by the
+    interceptor).  The network never duplicates, forges, or loses messages,
+    matching the channel assumptions in Section 2.1 of the paper.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay_model: Optional[DelayModel] = None,
+        interceptor: Optional[Interceptor] = None,
+    ) -> None:
+        self.sim = sim
+        self.delay_model: DelayModel = delay_model or SynchronousDelay()
+        self.interceptor = interceptor
+        self.stats = NetworkStats()
+        self._handlers: Dict[ProcessId, Callable[[ProcessId, Any], None]] = {}
+        self._delivery_log: List[Envelope] = []
+        self._send_hooks: List[Callable[[Envelope], None]] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self, pid: ProcessId, handler: Callable[[ProcessId, Any], None]
+    ) -> None:
+        """Register the delivery callback for process ``pid``."""
+        if pid in self._handlers:
+            raise ValueError(f"process {pid} already registered")
+        self._handlers[pid] = handler
+
+    def unregister(self, pid: ProcessId) -> None:
+        self._handlers.pop(pid, None)
+
+    @property
+    def process_ids(self) -> Tuple[ProcessId, ...]:
+        return tuple(sorted(self._handlers))
+
+    def add_send_hook(self, hook: Callable[[Envelope], None]) -> None:
+        """Observe every send (used by the trace recorder)."""
+        self._send_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> Envelope:
+        """Send ``payload`` from ``src`` to ``dst``; returns the envelope."""
+        if dst not in self._handlers:
+            raise ValueError(f"unknown destination process {dst}")
+        now = self.sim.now
+        delay = self.delay_model.delay(src, dst, now)
+        if delay < 0 or math.isinf(delay) or math.isnan(delay):
+            raise ValueError(f"delay model returned invalid delay {delay}")
+        envelope = Envelope(
+            src=src, dst=dst, payload=payload,
+            send_time=now, deliver_time=now + delay,
+        )
+        if self.interceptor is not None:
+            override = self.interceptor(envelope)
+            if override is not None:
+                if math.isinf(override) or math.isnan(override) or override < now:
+                    raise ValueError(
+                        f"interceptor returned invalid delivery time {override}"
+                    )
+                envelope = Envelope(
+                    src=src, dst=dst, payload=payload,
+                    send_time=now, deliver_time=override,
+                )
+        self.stats.messages_sent += 1
+        for hook in self._send_hooks:
+            hook(envelope)
+        self.sim.schedule_at(
+            envelope.deliver_time,
+            lambda env=envelope: self._deliver(env),
+            label=f"deliver {src}->{dst}",
+        )
+        return envelope
+
+    def broadcast(
+        self, src: ProcessId, payload: Any, include_self: bool = True
+    ) -> List[Envelope]:
+        """Send ``payload`` from ``src`` to every registered process."""
+        envelopes = []
+        for dst in self.process_ids:
+            if dst == src and not include_self:
+                continue
+            envelopes.append(self.send(src, dst, payload))
+        return envelopes
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+
+    def _deliver(self, envelope: Envelope) -> None:
+        handler = self._handlers.get(envelope.dst)
+        if handler is None:
+            return  # destination shut down after the message was sent
+        self.stats.messages_delivered += 1
+        self._delivery_log.append(envelope)
+        handler(envelope.src, envelope.payload)
+
+    @property
+    def delivery_log(self) -> Tuple[Envelope, ...]:
+        """All deliveries so far, in delivery order."""
+        return tuple(self._delivery_log)

@@ -1,0 +1,165 @@
+"""Process abstraction: deterministic state machines driven by the simulator.
+
+Every participant in a protocol — correct or Byzantine — is a
+:class:`Process`.  A process reacts to three kinds of stimuli: the start of
+the execution, message deliveries, and timer expirations.  It acts on the
+world only through its :class:`ProcessContext` (send, broadcast, timers),
+which makes it easy to wrap a process to inject Byzantine behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from .events import EventHandle, Simulator
+from .network import Network, ProcessId
+
+__all__ = ["Process", "ProcessContext", "Timer"]
+
+
+@dataclass
+class Timer:
+    """A cancellable timer owned by a process."""
+
+    name: str
+    handle: EventHandle
+
+    def cancel(self) -> None:
+        self.handle.cancel()
+
+    @property
+    def active(self) -> bool:
+        return not self.handle.cancelled
+
+
+class ProcessContext:
+    """The only window a process has onto the simulated world."""
+
+    def __init__(self, pid: ProcessId, sim: Simulator, network: Network) -> None:
+        self.pid = pid
+        self.sim = sim
+        self.network = network
+        self._timers: Dict[str, Timer] = {}
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def halt(self) -> None:
+        """Stop all activity from this process (crash)."""
+        self._halted = True
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+
+    # ------------------------------------------------------------------
+    def send(self, dst: ProcessId, payload: Any) -> None:
+        if self._halted:
+            return
+        self.network.send(self.pid, dst, payload)
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        if self._halted:
+            return
+        self.network.broadcast(self.pid, payload, include_self=include_self)
+
+    # ------------------------------------------------------------------
+    def set_timer(self, name: str, delay: float, callback: Callable[[], None]) -> Timer:
+        """(Re)arm the named timer; an existing timer of that name is cancelled."""
+        self.cancel_timer(name)
+        handle = self.sim.schedule(
+            delay,
+            lambda: self._fire_timer(name, callback),
+            label=f"timer {name}@{self.pid}",
+        )
+        timer = Timer(name=name, handle=handle)
+        self._timers[name] = timer
+        return timer
+
+    def cancel_timer(self, name: str) -> None:
+        timer = self._timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
+
+    def has_timer(self, name: str) -> bool:
+        timer = self._timers.get(name)
+        return timer is not None and timer.active
+
+    def _fire_timer(self, name: str, callback: Callable[[], None]) -> None:
+        if self._halted:
+            return
+        self._timers.pop(name, None)
+        callback()
+
+
+class Process:
+    """Base class for all protocol participants.
+
+    Subclasses override :meth:`on_start`, :meth:`on_message` and use
+    ``self.ctx`` to interact with the network.  The harness (see
+    ``repro.sim.runner``) constructs the context and wires delivery.
+    """
+
+    def __init__(self, pid: ProcessId) -> None:
+        self.pid = pid
+        self.ctx: Optional[ProcessContext] = None
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the runner)
+    # ------------------------------------------------------------------
+
+    def attach(self, ctx: ProcessContext) -> None:
+        self.ctx = ctx
+
+    def _dispatch(self, sender: ProcessId, payload: Any) -> None:
+        if self.ctx is None or self.ctx.halted:
+            return
+        self.on_message(sender, payload)
+
+    def _start(self) -> None:
+        if self.ctx is None or self.ctx.halted:
+            return
+        self.on_start()
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once at time 0."""
+
+    def on_message(self, sender: ProcessId, payload: Any) -> None:
+        """Called on each message delivery."""
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        assert self.ctx is not None
+        return self.ctx.now
+
+    def send(self, dst: ProcessId, payload: Any) -> None:
+        assert self.ctx is not None
+        self.ctx.send(dst, payload)
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        assert self.ctx is not None
+        self.ctx.broadcast(payload, include_self=include_self)
+
+    def crash(self) -> None:
+        """Permanently stop taking steps."""
+        if self.ctx is not None:
+            self.ctx.halt()
+
+    @property
+    def crashed(self) -> bool:
+        return self.ctx is not None and self.ctx.halted

@@ -1,0 +1,137 @@
+"""Execution traces: who sent what when, who decided what when.
+
+The paper's headline metric is *common-case latency measured in message
+delays*.  With the round-synchronous delay model every hop costs exactly
+``DELTA``, so a decision at time ``k * DELTA`` is a ``k``-step decision.
+:func:`message_delays` performs that conversion; :class:`TraceRecorder`
+captures the raw material.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .network import Envelope, Network, ProcessId
+
+__all__ = [
+    "Decision",
+    "TraceRecorder",
+    "message_delays",
+    "ConsistencyViolation",
+]
+
+
+class ConsistencyViolation(Exception):
+    """Two correct processes decided different values."""
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A decision event: ``pid`` decided ``value`` at simulated ``time``."""
+
+    pid: ProcessId
+    value: Any
+    time: float
+
+
+class TraceRecorder:
+    """Records message sends and decisions for later analysis."""
+
+    def __init__(self, network: Optional[Network] = None) -> None:
+        self.sends: List[Envelope] = []
+        self.decisions: List[Decision] = []
+        self._decided_by: Dict[ProcessId, Decision] = {}
+        if network is not None:
+            network.add_send_hook(self.sends.append)
+
+    # ------------------------------------------------------------------
+    # Decision bookkeeping
+    # ------------------------------------------------------------------
+
+    def record_decision(self, pid: ProcessId, value: Any, time: float) -> None:
+        """Record a decision.  Re-deciding the same value is a no-op; a
+        correct process deciding twice with different values is an error."""
+        previous = self._decided_by.get(pid)
+        if previous is not None:
+            if previous.value != value:
+                raise ConsistencyViolation(
+                    f"process {pid} decided {previous.value!r} then {value!r}"
+                )
+            return
+        decision = Decision(pid=pid, value=value, time=time)
+        self._decided_by[pid] = decision
+        self.decisions.append(decision)
+
+    def decision_of(self, pid: ProcessId) -> Optional[Decision]:
+        return self._decided_by.get(pid)
+
+    def decided_values(self, pids: Optional[Tuple[ProcessId, ...]] = None) -> set:
+        """Distinct values decided by ``pids`` (default: everyone recorded)."""
+        if pids is None:
+            return {d.value for d in self.decisions}
+        return {
+            d.value for pid, d in self._decided_by.items() if pid in pids
+        }
+
+    def all_decided(self, pids) -> bool:
+        return all(pid in self._decided_by for pid in pids)
+
+    def check_agreement(self, correct_pids) -> Any:
+        """Assert all ``correct_pids`` that decided agree; return the value."""
+        values = {
+            self._decided_by[pid].value
+            for pid in correct_pids
+            if pid in self._decided_by
+        }
+        if len(values) > 1:
+            raise ConsistencyViolation(
+                f"correct processes decided different values: {values!r}"
+            )
+        return next(iter(values)) if values else None
+
+    def decision_times(self, pids) -> Dict[ProcessId, float]:
+        return {
+            pid: self._decided_by[pid].time
+            for pid in pids
+            if pid in self._decided_by
+        }
+
+    def latest_decision_time(self, pids) -> Optional[float]:
+        times = self.decision_times(pids)
+        if len(times) < len(list(pids)):
+            return None
+        return max(times.values()) if times else None
+
+    # ------------------------------------------------------------------
+    # Message accounting
+    # ------------------------------------------------------------------
+
+    def message_count(self) -> int:
+        return len(self.sends)
+
+    def messages_by_type(self) -> Dict[str, int]:
+        """Histogram of payload class names across all sends."""
+        counts: Dict[str, int] = {}
+        for env in self.sends:
+            name = type(env.payload).__name__
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+def message_delays(decision_time: float, delta: float) -> int:
+    """Convert an absolute decision time into a message-delay count.
+
+    Under the round-synchronous schedule a decision at ``k * delta`` was
+    reached after exactly ``k`` message delays.  Times that do not fall on
+    a round boundary are rounded up (the decision needed the delivery that
+    started the enclosing round).
+    """
+    if decision_time < 0:
+        raise ValueError("decision_time must be >= 0")
+    steps = decision_time / delta
+    rounded = round(steps)
+    if math.isclose(steps, rounded, abs_tol=1e-9):
+        return int(rounded)
+    return int(math.ceil(steps))

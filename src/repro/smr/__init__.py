@@ -1,0 +1,29 @@
+"""State machine replication built on the consensus core (Section 1.1)."""
+
+from .client import CommandOutcome, SMRClient
+from .kvstore import NOOP, AppendLog, Command, Counter, KVStore, StateMachine
+from .replica import (
+    Reply,
+    Request,
+    SlotDecided,
+    SlotMessage,
+    SMRReplica,
+    fbft_instance_factory,
+)
+
+__all__ = [
+    "AppendLog",
+    "Command",
+    "CommandOutcome",
+    "Counter",
+    "KVStore",
+    "NOOP",
+    "Reply",
+    "Request",
+    "SMRClient",
+    "SMRReplica",
+    "SlotDecided",
+    "SlotMessage",
+    "StateMachine",
+    "fbft_instance_factory",
+]

@@ -1,0 +1,160 @@
+"""SMR client: submits commands, accepts f + 1 matching replies.
+
+A client is itself a simulated process.  It broadcasts each command to
+every replica (so any current or future leader learns it), then waits for
+``f + 1`` replicas to report the same result for the same request — at
+most ``f`` replicas are Byzantine, so at least one of those replies comes
+from a correct replica that really executed the command.  Unanswered
+requests are retransmitted with exponential backoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sim.process import Process
+from .kvstore import Command
+from .replica import Reply, Request
+
+__all__ = ["CommandOutcome", "SMRClient"]
+
+
+@dataclass
+class CommandOutcome:
+    """Lifecycle of one submitted command."""
+
+    request_id: int
+    command: Command
+    submitted_at: float
+    completed_at: Optional[float] = None
+    result: Any = None
+    slot: Optional[int] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+
+class SMRClient(Process):
+    """Submits a workload of commands to a replica group."""
+
+    def __init__(
+        self,
+        pid: int,
+        replica_pids: Sequence[int],
+        f: int,
+        retry_timeout: float = 40.0,
+        on_complete: Optional[Callable[[CommandOutcome], None]] = None,
+    ) -> None:
+        super().__init__(pid)
+        self.replica_pids = tuple(replica_pids)
+        self.f = f
+        self.retry_timeout = retry_timeout
+        self.on_complete = on_complete
+        self._next_request_id = 0
+        self.outcomes: Dict[int, CommandOutcome] = {}
+        self._reply_votes: Dict[int, Dict[Tuple[Any, int], Set[int]]] = {}
+        self._workload: List[Command] = []
+        self._inflight: Optional[int] = None
+        self._closed_loop = True
+
+    # ------------------------------------------------------------------
+    # Workload driving
+    # ------------------------------------------------------------------
+
+    def load_workload(self, commands: Sequence[Command], closed_loop: bool = True) -> None:
+        """Queue commands; closed-loop sends the next one on completion,
+        open-loop submits everything immediately at start."""
+        self._workload = list(commands)
+        self._closed_loop = closed_loop
+
+    def on_start(self) -> None:
+        if not self._workload:
+            return
+        if self._closed_loop:
+            self._submit_next()
+        else:
+            while self._workload:
+                self.submit(self._workload.pop(0))
+
+    def _submit_next(self) -> None:
+        if self._workload:
+            self._inflight = self.submit(self._workload.pop(0))
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, command: Command) -> int:
+        """Submit one command; returns its request id."""
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        self.outcomes[request_id] = CommandOutcome(
+            request_id=request_id, command=command, submitted_at=self.now
+        )
+        self._send_request(request_id, self.retry_timeout)
+        return request_id
+
+    def _send_request(self, request_id: int, backoff: float) -> None:
+        outcome = self.outcomes[request_id]
+        if outcome.completed:
+            return
+        request = Request(
+            client=self.pid, request_id=request_id, command=outcome.command
+        )
+        for replica in self.replica_pids:
+            self.send(replica, request)
+        self.ctx.set_timer(
+            f"retry-{request_id}",
+            backoff,
+            lambda: self._send_request(request_id, backoff * 2),
+        )
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if not isinstance(payload, Reply):
+            return
+        if sender not in self.replica_pids or payload.client != self.pid:
+            return
+        outcome = self.outcomes.get(payload.request_id)
+        if outcome is None or outcome.completed:
+            return
+        votes = self._reply_votes.setdefault(payload.request_id, {})
+        key = (payload.result, payload.slot)
+        senders = votes.setdefault(key, set())
+        senders.add(sender)
+        if len(senders) >= self.f + 1:
+            outcome.completed_at = self.now
+            outcome.result = payload.result
+            outcome.slot = payload.slot
+            self.ctx.cancel_timer(f"retry-{payload.request_id}")
+            if self.on_complete is not None:
+                self.on_complete(outcome)
+            if self._closed_loop and self._inflight == payload.request_id:
+                self._submit_next()
+
+    # ------------------------------------------------------------------
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.completed)
+
+    @property
+    def all_completed(self) -> bool:
+        return bool(self.outcomes) and all(
+            o.completed for o in self.outcomes.values()
+        ) and not self._workload
+
+    def latencies(self) -> List[float]:
+        return [
+            o.latency for o in self.outcomes.values() if o.latency is not None
+        ]

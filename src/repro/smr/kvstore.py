@@ -1,0 +1,102 @@
+"""State machines to replicate.
+
+The paper's motivation (Section 1.1) is state machine replication: agree
+on each next command and every replica ends up executing the same
+sequence.  Commands are plain tuples so they can travel through the
+simulated network and be compared/hashed for deduplication.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Protocol, Tuple
+
+__all__ = ["Command", "NOOP", "StateMachine", "KVStore", "AppendLog", "Counter"]
+
+#: Commands are tuples: ("set", key, value), ("get", key), ("del", key), ...
+Command = Tuple[Any, ...]
+
+#: The do-nothing command a leader proposes when it has nothing pending.
+NOOP: Command = ("noop",)
+
+
+class StateMachine(Protocol):
+    """Anything with a deterministic ``apply``."""
+
+    def apply(self, command: Command) -> Any:  # pragma: no cover - protocol
+        ...
+
+
+class KVStore:
+    """A dictionary with SET/GET/DEL commands — the canonical SMR payload.
+
+    >>> store = KVStore()
+    >>> store.apply(("set", "k", 1))
+    'OK'
+    >>> store.apply(("get", "k"))
+    1
+    >>> store.apply(("del", "k"))
+    'OK'
+    >>> store.apply(("get", "k")) is None
+    True
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[Any, Any] = {}
+        self.applied_count = 0
+
+    def apply(self, command: Command) -> Any:
+        op = command[0]
+        self.applied_count += 1
+        if op == "noop":
+            return None
+        if op == "set":
+            _, key, value = command
+            self._data[key] = value
+            return "OK"
+        if op == "get":
+            _, key = command
+            return self._data.get(key)
+        if op == "del":
+            _, key = command
+            self._data.pop(key, None)
+            return "OK"
+        raise ValueError(f"unknown KV command {command!r}")
+
+    def snapshot(self) -> Dict[Any, Any]:
+        return dict(self._data)
+
+
+class AppendLog:
+    """Appends every non-noop command — handy for checking replica order."""
+
+    def __init__(self) -> None:
+        self.entries: List[Command] = []
+
+    def apply(self, command: Command) -> Any:
+        if command == NOOP:
+            return None
+        self.entries.append(command)
+        return len(self.entries) - 1
+
+
+class Counter:
+    """Increment/decrement/read — the smallest useful state machine."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def apply(self, command: Command) -> Any:
+        op = command[0]
+        if op == "noop":
+            return None
+        if op == "inc":
+            amount = command[1] if len(command) > 1 else 1
+            self.value += amount
+            return self.value
+        if op == "dec":
+            amount = command[1] if len(command) > 1 else 1
+            self.value -= amount
+            return self.value
+        if op == "read":
+            return self.value
+        raise ValueError(f"unknown counter command {command!r}")

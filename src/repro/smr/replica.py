@@ -1,0 +1,322 @@
+"""State machine replication on top of the consensus core.
+
+Each log *slot* is decided by an independent instance of the paper's
+consensus protocol; replicas multiplex the instances over one network by
+wrapping every protocol message in a :class:`SlotMessage`.  The design:
+
+* clients broadcast :class:`Request` messages; every replica queues them
+  (deduplicating by ``(client, request_id)``);
+* a replica starts the consensus instance for the lowest undecided slot
+  as soon as it has pending commands; the instance's input is the
+  replica's oldest pending command (``NOOP`` if none), so whoever ends up
+  leading the slot — including after view changes when the original
+  leader crashed — proposes real work;
+* decisions are applied to the state machine strictly in slot order and
+  answered to clients with :class:`Reply`; a client accepts a result once
+  ``f + 1`` replicas agree on it;
+* replicas gossip :class:`SlotDecided` notifications; ``f + 1`` matching
+  notifications are adopted as a decision (at most ``f`` Byzantine, so at
+  least one sender is correct), which lets lagging replicas catch up and
+  lets instances stop their pacemakers after deciding.
+
+The SMR layer is deliberately protocol-agnostic: it accepts any factory
+producing a :class:`~repro.core.protocol.DecidingProcess`-compatible
+consensus instance (ours, or a baseline for comparison benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.config import ProtocolConfig
+from ..core.generalized import GeneralizedFBFTProcess
+from ..crypto.keys import KeyRegistry
+from ..sim.process import Process, ProcessContext
+from .kvstore import NOOP, Command, StateMachine
+
+__all__ = [
+    "Request",
+    "Reply",
+    "SlotMessage",
+    "SlotDecided",
+    "SMRReplica",
+    "fbft_instance_factory",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """Client command submission."""
+
+    client: int
+    request_id: int
+    command: Command
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Replica's answer after executing the command."""
+
+    client: int
+    request_id: int
+    result: Any
+    slot: int
+
+
+@dataclass(frozen=True)
+class SlotMessage:
+    """A consensus protocol message scoped to one log slot."""
+
+    slot: int
+    inner: Any
+
+
+@dataclass(frozen=True)
+class SlotDecided:
+    """Decision gossip: ``f + 1`` matching ones are adopted."""
+
+    slot: int
+    value: Any
+
+
+class _SlotContext(ProcessContext):
+    """Process context adapter that scopes one consensus instance to a slot.
+
+    Outgoing payloads are wrapped in :class:`SlotMessage`; timer names are
+    prefixed so instances do not trample each other's timers.
+    """
+
+    def __init__(self, slot: int, parent: ProcessContext) -> None:
+        super().__init__(parent.pid, parent.sim, parent.network)
+        self._slot = slot
+        self._parent = parent
+
+    def send(self, dst: int, payload: Any) -> None:
+        if self.halted or self._parent.halted:
+            return
+        self.network.send(self.pid, dst, SlotMessage(self._slot, payload))
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        if self.halted or self._parent.halted:
+            return
+        self.network.broadcast(
+            self.pid, SlotMessage(self._slot, payload), include_self=include_self
+        )
+
+    def set_timer(self, name: str, delay: float, callback) -> Any:
+        return super().set_timer(f"slot{self._slot}:{name}", delay, callback)
+
+    def cancel_timer(self, name: str) -> None:
+        super().cancel_timer(f"slot{self._slot}:{name}")
+
+    def has_timer(self, name: str) -> bool:
+        return super().has_timer(f"slot{self._slot}:{name}")
+
+
+#: Builds one consensus instance: (pid, slot, input_value) -> process.
+InstanceFactory = Callable[[int, int, Any], Any]
+
+
+def fbft_instance_factory(
+    config: ProtocolConfig,
+    registry: KeyRegistry,
+    base_timeout: float = 12.0,
+) -> InstanceFactory:
+    """Default factory: one generalized-protocol instance per slot."""
+
+    def factory(pid: int, slot: int, input_value: Any) -> GeneralizedFBFTProcess:
+        return GeneralizedFBFTProcess(
+            pid,
+            config,
+            registry,
+            input_value,
+            base_timeout=base_timeout,
+        )
+
+    return factory
+
+
+class SMRReplica(Process):
+    """One replica of the replicated state machine."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        f: int,
+        state_machine: StateMachine,
+        instance_factory: InstanceFactory,
+        max_slots: int = 10_000,
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.f = f
+        self.state_machine = state_machine
+        self.instance_factory = instance_factory
+        self.max_slots = max_slots
+        self._instances: Dict[int, Any] = {}
+        self._pending: List[Request] = []
+        self._seen_requests: Set[Tuple[int, int]] = set()
+        self._decided: Dict[int, Command] = {}
+        self._decide_gossip: Dict[int, Dict[Any, Set[int]]] = {}
+        self._executed_upto = -1  # highest contiguously applied slot
+        self._results: Dict[Tuple[int, int], Tuple[Any, int]] = {}
+        self._executed_requests: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests and examples)
+    # ------------------------------------------------------------------
+
+    @property
+    def log(self) -> Tuple[Tuple[int, Command], ...]:
+        """Decided (slot, command) pairs in slot order."""
+        return tuple(sorted(self._decided.items()))
+
+    @property
+    def executed_upto(self) -> int:
+        return self._executed_upto
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def decided_command(self, slot: int) -> Optional[Command]:
+        return self._decided.get(slot)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if isinstance(payload, Request):
+            self._handle_request(payload)
+        elif isinstance(payload, SlotMessage):
+            self._handle_slot_message(sender, payload)
+        elif isinstance(payload, SlotDecided):
+            self._handle_slot_decided(sender, payload)
+
+    def _handle_request(self, request: Request) -> None:
+        key = (request.client, request.request_id)
+        if key in self._seen_requests:
+            # Retransmission: if already executed, re-reply immediately.
+            if key in self._results:
+                result, slot = self._results[key]
+                self.send(
+                    request.client,
+                    Reply(
+                        client=request.client,
+                        request_id=request.request_id,
+                        result=result,
+                        slot=slot,
+                    ),
+                )
+            return
+        self._seen_requests.add(key)
+        self._pending.append(request)
+        self._maybe_start_next_slot()
+
+    def _handle_slot_message(self, sender: int, message: SlotMessage) -> None:
+        instance = self._ensure_instance(message.slot)
+        if instance is not None:
+            instance._dispatch(sender, message.inner)
+
+    def _handle_slot_decided(self, sender: int, message: SlotDecided) -> None:
+        if message.slot in self._decided:
+            return
+        per_value = self._decide_gossip.setdefault(message.slot, {})
+        senders = per_value.setdefault(message.value, set())
+        senders.add(sender)
+        if len(senders) >= self.f + 1:
+            self._adopt_decision(message.slot, message.value)
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle
+    # ------------------------------------------------------------------
+
+    def _next_undecided_slot(self) -> int:
+        slot = self._executed_upto + 1
+        while slot in self._decided:
+            slot += 1
+        return slot
+
+    def _maybe_start_next_slot(self) -> None:
+        """Start the consensus instance for the lowest undecided slot."""
+        if not self._pending:
+            return
+        slot = self._next_undecided_slot()
+        self._ensure_instance(slot)
+
+    def _ensure_instance(self, slot: int) -> Optional[Any]:
+        if slot in self._decided:
+            return None
+        instance = self._instances.get(slot)
+        if instance is not None:
+            return instance
+        if slot >= self.max_slots:
+            raise RuntimeError(f"slot {slot} exceeds max_slots={self.max_slots}")
+        input_value = self._pending[0].command if self._pending else NOOP
+        instance = self.instance_factory(self.pid, slot, input_value)
+        ctx = _SlotContext(slot, self.ctx)
+        instance.attach(ctx)
+        instance.decision_hook = lambda value, s=slot: self._on_slot_decided(s, value)
+        self._instances[slot] = instance
+        instance._start()
+        return instance
+
+    def _on_slot_decided(self, slot: int, value: Command) -> None:
+        self._adopt_decision(slot, value)
+
+    def _adopt_decision(self, slot: int, value: Command) -> None:
+        if slot in self._decided:
+            return
+        self._decided[slot] = value
+        instance = self._instances.get(slot)
+        if instance is not None and hasattr(instance, "pacemaker"):
+            instance.pacemaker.stop()
+        self.broadcast(SlotDecided(slot=slot, value=value), include_self=False)
+        self._execute_ready()
+        self._maybe_start_next_slot()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute_ready(self) -> None:
+        """Apply decided commands strictly in slot order."""
+        while (self._executed_upto + 1) in self._decided:
+            slot = self._executed_upto + 1
+            command = self._decided[slot]
+            self._executed_upto = slot
+            self._execute(slot, command)
+
+    def _execute(self, slot: int, command: Command) -> None:
+        request = self._find_request(command)
+        if request is not None:
+            key = (request.client, request.request_id)
+            self._pending = [
+                r for r in self._pending if (r.client, r.request_id) != key
+            ]
+            if key in self._executed_requests:
+                return  # duplicate decision of a re-proposed command
+            self._executed_requests.add(key)
+            result = self.state_machine.apply(command)
+            self._results[key] = (result, slot)
+            self.send(
+                request.client,
+                Reply(
+                    client=request.client,
+                    request_id=request.request_id,
+                    result=result,
+                    slot=slot,
+                ),
+            )
+        elif command != NOOP:
+            # A command from a client we never heard from directly.
+            self.state_machine.apply(command)
+
+    def _find_request(self, command: Command) -> Optional[Request]:
+        for request in self._pending:
+            if request.command == command:
+                return request
+        return None

@@ -1,0 +1,5 @@
+"""View synchronization: the background protocol electing leaders."""
+
+from .synchronizer import Pacemaker, WishMessage
+
+__all__ = ["Pacemaker", "WishMessage"]

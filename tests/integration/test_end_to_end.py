@@ -1,0 +1,191 @@
+"""Integration tests: whole-system scenarios spanning multiple packages."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from repro.byzantine.behaviors import EquivocatingLeader, SilentProcess
+from repro.core.config import ProtocolConfig
+from repro.core.fastbft import FastBFTProcess
+from repro.core.generalized import GeneralizedFBFTProcess
+from repro.crypto.keys import KeyRegistry
+from repro.sim.network import (
+    PartialSynchronyDelay,
+    RandomDelay,
+    RoundSynchronousDelay,
+    SynchronousDelay,
+)
+from repro.sim.runner import Cluster
+
+from helpers import make_config, make_registry
+
+
+class TestPartialSynchrony:
+    """The model of Section 2.1: chaos before GST, DELTA-bounded after."""
+
+    def test_decision_reached_after_gst(self):
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        procs = [
+            FastBFTProcess(pid, config, registry, f"v{pid}")
+            for pid in config.process_ids
+        ]
+        model = PartialSynchronyDelay(
+            delta=1.0, gst=60.0, pre_gst_max=40.0, seed=11
+        )
+        cluster = Cluster(procs, delay_model=model)
+        result = cluster.run_until_decided(timeout=5000)
+        assert result.decided
+        cluster.trace.check_agreement(config.process_ids)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_various_pre_gst_schedules(self, seed):
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        procs = [
+            FastBFTProcess(pid, config, registry, f"v{pid}")
+            for pid in config.process_ids
+        ]
+        model = PartialSynchronyDelay(
+            delta=1.0, gst=40.0, pre_gst_max=30.0, seed=seed
+        )
+        cluster = Cluster(procs, delay_model=model)
+        result = cluster.run_until_decided(timeout=5000)
+        assert result.decided
+
+    def test_gst_zero_behaves_synchronously(self):
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        procs = [
+            FastBFTProcess(pid, config, registry, "v")
+            for pid in config.process_ids
+        ]
+        model = PartialSynchronyDelay(delta=1.0, gst=0.0, seed=0)
+        cluster = Cluster(procs, delay_model=model)
+        result = cluster.run_until_decided(timeout=100)
+        assert result.decision_time == 2.0
+
+
+class TestCascadingFailures:
+    def test_successive_leader_crashes(self):
+        """Views 1..3 all led by crashed processes: the fourth leader
+        finally drives a decision."""
+        config = make_config(n=14, f=3)
+        registry = make_registry(config)
+        procs = [
+            FastBFTProcess(pid, config, registry, f"v{pid}")
+            for pid in config.process_ids
+        ]
+        cluster = Cluster(procs, delay_model=SynchronousDelay(1.0))
+        for pid in (0, 1, 2):
+            procs[pid].crash()
+        correct = list(range(3, 14))
+        result = cluster.run_until_decided(correct_pids=correct, timeout=2000)
+        assert result.decided
+        assert result.decision_value == "v3"
+
+    def test_crash_during_view_change(self):
+        """Leader(2) crashes midway through its own view change."""
+        config = make_config(n=9, f=2)
+        registry = make_registry(config)
+        procs = [
+            FastBFTProcess(pid, config, registry, f"v{pid}")
+            for pid in config.process_ids
+        ]
+        cluster = Cluster(procs, delay_model=SynchronousDelay(1.0))
+        procs[0].crash()
+        # Crash leader(2) shortly after the first view change begins.
+        cluster.sim.schedule(14.0, procs[1].crash)
+        correct = list(range(2, 9))
+        result = cluster.run_until_decided(correct_pids=correct, timeout=2000)
+        assert result.decided
+        cluster.trace.check_agreement(correct)
+
+
+class TestMixedFaults:
+    def test_equivocator_plus_silent(self):
+        config = make_config(n=9, f=2)
+        registry = make_registry(config)
+        correct = list(range(2, 9))
+        assignments = {pid: ("x" if pid < 6 else "y") for pid in correct}
+        processes = [
+            EquivocatingLeader(
+                0, registry, config, view=1, assignments=assignments,
+                ack_value="x", ack_to=(2, 3, 4, 5), ack_time=1.0,
+            ),
+            SilentProcess(1),
+        ] + [
+            FastBFTProcess(pid, config, registry, f"v{pid}") for pid in correct
+        ]
+        cluster = Cluster(processes, delay_model=SynchronousDelay(1.0))
+        result = cluster.run_until_decided(correct_pids=correct, timeout=2000)
+        assert result.decided
+        cluster.trace.check_agreement(correct)
+
+    def test_generalized_with_byzantine_below_t(self):
+        """n = 3f + 2t - 1 = 12 with f = 3, t = 2: two silent Byzantine
+        keep it fast; the third fault engages the slow path."""
+        config = make_config(n=12, f=3, t=2)
+        registry = make_registry(config)
+        procs = [
+            GeneralizedFBFTProcess(pid, config, registry, "v")
+            for pid in config.process_ids
+        ]
+        procs[10] = SilentProcess(10)
+        procs[11] = SilentProcess(11)
+        cluster = Cluster(procs, delay_model=RoundSynchronousDelay(1.0))
+        result = cluster.run_until_decided(correct_pids=range(10), timeout=100)
+        assert result.decision_time == 2.0  # fast despite 2 = t faults
+
+        procs = [
+            GeneralizedFBFTProcess(pid, config, registry, "v")
+            for pid in config.process_ids
+        ]
+        procs[9] = SilentProcess(9)
+        procs[10] = SilentProcess(10)
+        procs[11] = SilentProcess(11)
+        cluster = Cluster(procs, delay_model=RoundSynchronousDelay(1.0))
+        result = cluster.run_until_decided(correct_pids=range(9), timeout=100)
+        assert result.decision_time == 3.0  # slow path takes over
+
+
+class TestFullStack:
+    def test_smr_on_generalized_protocol_with_crash(self):
+        from repro.smr import KVStore, SMRClient, SMRReplica, fbft_instance_factory
+
+        n, f = 7, 2
+        config = ProtocolConfig(n=n, f=f, t=1)
+        registry = KeyRegistry.for_processes(range(n))
+        factory = fbft_instance_factory(config, registry)
+        replicas = [SMRReplica(pid, n, f, KVStore(), factory) for pid in range(n)]
+        client = SMRClient(pid=n, replica_pids=range(n), f=f)
+        client.load_workload([("set", "k", i) for i in range(4)])
+        cluster = Cluster(replicas + [client], delay_model=SynchronousDelay(1.0))
+        replicas[6].crash()
+        cluster.start()
+        cluster.sim.schedule(10.0, replicas[5].crash)
+        cluster.sim.run_until(lambda: client.all_completed, timeout=5000)
+        live = replicas[:5]
+        assert len({r.log for r in live}) == 1
+        assert client.completed_count == 4
+
+    def test_lower_bound_and_protocol_agree_on_boundary(self):
+        """The executable lower bound and the quorum math must point at
+        the same n for every (f, t) in range."""
+        from repro.core.quorums import min_processes_fast_bft, quorum_report
+        from repro.lowerbound import run_splice_attack
+
+        for f, t in [(2, 2), (2, 1), (3, 2)]:
+            bound = min_processes_fast_bft(f, t)
+            below = run_splice_attack(f=f, t=t, n=bound - 1)
+            at = run_splice_attack(f=f, t=t, n=bound)
+            report_below = quorum_report(bound - 1, f, t)
+            report_at = quorum_report(bound, f, t)
+            if t >= 2:
+                assert below.violated
+            assert at.safe
+            assert not report_below.meets_bound
+            assert report_at.meets_bound

@@ -1,0 +1,91 @@
+"""Property-based tests for canonical serialization and signatures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import KeyRegistry, Signature, canonical_bytes
+
+REGISTRY = KeyRegistry.for_processes(range(8))
+
+# Payload values that protocol messages are composed of.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 63), max_value=2 ** 63),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCanonicalBytes:
+    @given(payloads)
+    @settings(max_examples=150, deadline=None)
+    def test_deterministic(self, payload):
+        assert canonical_bytes(payload) == canonical_bytes(payload)
+
+    @given(payloads, payloads)
+    @settings(max_examples=150, deadline=None)
+    def test_injective_on_distinct_values(self, a, b):
+        """Different payloads must serialize differently (no collisions),
+        modulo the deliberate tuple/list identification."""
+        if canonical_bytes(a) == canonical_bytes(b):
+            assert _normalize(a) == _normalize(b)
+
+    @given(st.lists(scalars, max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_tuple_list_identified(self, items):
+        assert canonical_bytes(items) == canonical_bytes(tuple(items))
+
+
+def _normalize(value):
+    """Tuple/list identification — the only intended equivalence."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(
+            sorted(
+                ((_normalize(k), _normalize(v)) for k, v in value.items()),
+                key=repr,
+            )
+        )
+    if isinstance(value, float) and value == int(value):
+        return value  # floats stay floats (tagged differently from ints)
+    return value
+
+
+class TestSignatures:
+    @given(payloads, st.integers(min_value=0, max_value=7))
+    @settings(max_examples=100, deadline=None)
+    def test_sign_verify_round_trip(self, payload, pid):
+        sig = REGISTRY.signer(pid).sign(payload)
+        assert REGISTRY.verify(sig, payload)
+
+    @given(payloads, payloads, st.integers(min_value=0, max_value=7))
+    @settings(max_examples=100, deadline=None)
+    def test_wrong_payload_fails(self, payload, other, pid):
+        if _normalize(payload) == _normalize(other):
+            return
+        sig = REGISTRY.signer(pid).sign(payload)
+        assert not REGISTRY.verify(sig, other)
+
+    @given(
+        payloads,
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_signer_swap_fails(self, payload, signer, claimed):
+        if signer == claimed:
+            return
+        sig = REGISTRY.signer(signer).sign(payload)
+        assert not REGISTRY.verify(
+            Signature(signer=claimed, digest=sig.digest), payload
+        )

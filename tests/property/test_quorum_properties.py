@@ -1,0 +1,128 @@
+"""Property-based tests for quorum arithmetic (Section 3.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quorums import (
+    all_qi_hold,
+    commit_quorum,
+    generalized_fast_vote_overlap,
+    guaranteed_correct_in_intersection,
+    intersection_size,
+    min_processes_fab,
+    min_processes_fast_bft,
+    qi1_holds,
+    qi2_holds,
+)
+
+f_values = st.integers(min_value=1, max_value=50)
+
+
+@st.composite
+def ft_pairs(draw):
+    f = draw(f_values)
+    t = draw(st.integers(min_value=1, max_value=f))
+    return f, t
+
+
+class TestBounds:
+    @given(ft_pairs())
+    def test_ours_strictly_cheaper_than_fab(self, ft):
+        f, t = ft
+        assert min_processes_fast_bft(f, t) == min_processes_fab(f, t) - 2
+
+    @given(ft_pairs())
+    def test_bound_monotone_in_t(self, ft):
+        f, t = ft
+        if t < f:
+            assert min_processes_fast_bft(f, t) <= min_processes_fast_bft(f, t + 1)
+
+    @given(f_values)
+    def test_vanilla_bound_is_5f_minus_1(self, f):
+        assert min_processes_fast_bft(f, f) == max(5 * f - 1, 3 * f + 1)
+
+    @given(ft_pairs())
+    def test_bound_never_below_classic(self, ft):
+        f, t = ft
+        assert min_processes_fast_bft(f, t) >= 3 * f + 1
+
+
+class TestIntersections:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=200),
+    )
+    def test_intersection_size_is_tight(self, n, q1, q2):
+        """The pigeonhole bound is achievable, so it must be in [0, min]."""
+        size = intersection_size(n, min(q1, n), min(q2, n))
+        assert 0 <= size <= min(q1, q2, n)
+
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_correct_overlap_never_exceeds_overlap(self, n, q1, q2, byz):
+        overlap = intersection_size(n, min(q1, n), min(q2, n))
+        correct = guaranteed_correct_in_intersection(
+            n, min(q1, n), min(q2, n), byz
+        )
+        assert 0 <= correct <= overlap
+
+
+class TestQIBoundaries:
+    @given(f_values)
+    def test_qi2_tight_at_5f_minus_1(self, f):
+        assert qi2_holds(5 * f - 1, f)
+        assert not qi2_holds(5 * f - 2, f)
+
+    @given(f_values)
+    def test_qi1_tight_at_3f_plus_1(self, f):
+        assert qi1_holds(3 * f + 1, f)
+        assert not qi1_holds(3 * f, f)
+
+    @given(f_values, st.integers(min_value=0, max_value=20))
+    def test_qi_properties_monotone_in_n(self, f, extra):
+        """Adding processes never breaks a quorum-intersection property."""
+        n = 5 * f - 1 + extra
+        assert all_qi_hold(n, f)
+
+
+class TestGeneralizedThresholds:
+    @given(ft_pairs())
+    def test_selection_threshold_sound_at_bound(self, ft):
+        """At n = max(3f+2t-1, 3f+1) a fast quorum forces >= f + t votes
+        into any (n - f)-vote view-change set sans equivocator."""
+        f, t = ft
+        n = min_processes_fast_bft(f, t)
+        assert generalized_fast_vote_overlap(n, f, t) >= f + t
+
+    @given(ft_pairs())
+    def test_selection_threshold_unsound_below_bound(self, ft):
+        f, t = ft
+        if t < 2:
+            return  # below the bound means below 3f + 1: different regime
+        n = 3 * f + 2 * t - 2
+        assert generalized_fast_vote_overlap(n, f, t) < f + t
+
+    @given(ft_pairs())
+    def test_commit_quorums_intersect_correctly(self, ft):
+        f, t = ft
+        n = min_processes_fast_bft(f, t)
+        cq = commit_quorum(n, f)
+        # Two commit quorums share a correct process.
+        assert guaranteed_correct_in_intersection(n, cq, cq, f) >= 1
+        # A commit quorum and a fast quorum share a correct process.
+        assert guaranteed_correct_in_intersection(n, cq, n - t, f) >= 1
+
+    @given(ft_pairs())
+    def test_at_most_one_value_reaches_threshold(self, ft):
+        """2 * threshold exceeds the usable vote count, so two values can
+        never both qualify during equivocation handling."""
+        f, t = ft
+        n = min_processes_fast_bft(f, t)
+        threshold = 2 * f if t == f else f + t
+        usable_votes = n - f  # votes excluding the equivocator
+        assert 2 * threshold > usable_votes

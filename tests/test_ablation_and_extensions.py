@@ -1,0 +1,148 @@
+"""Tests for the E11 ablation (no equivocator exclusion), the Section 4.3
+suspects-set relaxation, and the Section 4.4 disjoint-roles bound."""
+
+import pytest
+
+from repro.core.quorums import (
+    min_processes_disjoint_roles,
+    min_processes_fab,
+    min_processes_fast_bft,
+)
+from repro.core.selection import AnyValueSafe, NeedMoreVotes, Selected, run_selection
+from repro.lowerbound import (
+    check_t_two_step,
+    run_splice_attack,
+    suspect_fault_sets,
+)
+
+from helpers import make_config, make_registry, make_signed_vote, make_vote_record, make_vote_set
+
+
+class TestSelectionWithoutExclusion:
+    """The ablated selection variant: no equivocator exclusion."""
+
+    @pytest.fixture
+    def config(self):
+        return make_config(n=9, f=2)
+
+    @pytest.fixture
+    def registry(self, config):
+        return make_registry(config)
+
+    def test_no_exclusion_counts_equivocator_vote(self, config, registry):
+        """A vote set that the real algorithm resolves by exclusion is
+        resolved (differently) by the ablated one."""
+        # Equivocation at view 1; 4 x votes; the equivocator's own vote
+        # (for x) is in the set.
+        votes = make_vote_set(
+            registry, config, 2,
+            {1: "x", 2: "x", 3: "x", 4: "x", 5: "y", 6: "y", 7: None},
+        )
+        vote = make_vote_record(registry, config, "x", 1)
+        votes[0] = make_signed_vote(registry, config, 0, vote, 2)
+        with_trick = run_selection(votes, config, exclude_equivocator=True)
+        without = run_selection(votes, config, exclude_equivocator=False)
+        assert isinstance(with_trick, Selected) and with_trick.value == "x"
+        # Without exclusion the count includes the Byzantine leader's
+        # vote, so x reaches 5 >= 2f as well — but no vote is dropped.
+        assert isinstance(without, Selected)
+        assert without.excluded == frozenset()
+
+    def test_ablated_variant_loses_decided_values(self, config, registry):
+        """The key unsoundness: a vote set where x was decided (4 honest
+        x votes among n - f = 7 non-equivocator votes) but the ablated
+        selection says 'any value safe'."""
+        votes = make_vote_set(
+            registry, config, 2,
+            {1: "x", 2: "x", 3: "x", 4: "y", 5: "y", 6: None, 7: None},
+        )
+        sound = run_selection(votes, config, exclude_equivocator=True)
+        ablated = run_selection(votes, config, exclude_equivocator=False)
+        # Exclusion path: leader(1) = 0 is not even in the set, so the
+        # pool stays at 7 votes and 3 x votes < 2f -> any-safe in both.
+        # Now put the equivocator's nil lie in and drop an x vote:
+        votes = make_vote_set(
+            registry, config, 2,
+            {1: "x", 2: "x", 3: "x", 4: "x", 5: "y", 6: None},
+        )
+        votes[0] = make_signed_vote(registry, config, 0, None, 2)
+        sound = run_selection(votes, config, exclude_equivocator=True)
+        ablated = run_selection(votes, config, exclude_equivocator=False)
+        # Sound: exclusion shrinks the pool to 6 < 7 -> wait for more.
+        assert isinstance(sound, NeedMoreVotes)
+        # Ablated: 7 votes counted, x has 4 >= 2f -> selected... the
+        # danger shows when x has only 3 genuine votes plus lies:
+        votes = make_vote_set(
+            registry, config, 2,
+            {1: "x", 2: "x", 3: "x", 4: "y", 5: "y", 6: None},
+        )
+        votes[0] = make_signed_vote(registry, config, 0, None, 2)
+        ablated = run_selection(votes, config, exclude_equivocator=False)
+        assert isinstance(ablated, AnyValueSafe)  # x's quorum is deniable
+
+
+class TestAblatedProtocolEndToEnd:
+    def test_safe_with_trick_at_bound(self):
+        outcome = run_splice_attack(f=2, t=2, n=9, exclude_equivocator=True)
+        assert outcome.safe
+
+    def test_unsafe_without_trick_at_bound(self):
+        outcome = run_splice_attack(f=2, t=2, n=9, exclude_equivocator=False)
+        assert outcome.violated
+
+    def test_generalized_ablation(self):
+        outcome = run_splice_attack(f=3, t=2, n=12, exclude_equivocator=False)
+        assert outcome.violated
+
+    def test_without_trick_fab_size_is_safe_again(self):
+        """At FaB's n = 3f + 2t + 1 even the ablated protocol resists
+        this adversary — consistent with Section 4.4's claim that
+        3f + 2t + 1 is the optimum without the trick."""
+        outcome = run_splice_attack(f=2, t=2, n=11, exclude_equivocator=False)
+        assert outcome.safe
+
+
+class TestSuspectsSets:
+    def test_suspect_fault_sets_respect_membership(self):
+        sets = suspect_fault_sets(suspects=[2, 3, 4, 5], t=1)
+        assert sets == [(2,), (3,), (4,), (5,)]
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError, match="2t \\+ 2"):
+            suspect_fault_sets(suspects=[1, 2, 3], t=1)
+
+    def test_two_step_check_restricted_to_suspects(self):
+        """Section 4.3: the property may be demanded only for fault sets
+        inside a suspects set M (|M| >= 2t + 2); our protocol passes for
+        any M, e.g. one excluding the first leader."""
+        from repro.core.config import ProtocolConfig
+        from repro.core.fastbft import FastBFTProcess
+        from repro.crypto.keys import KeyRegistry
+
+        config = ProtocolConfig(n=9, f=2)
+        registry = KeyRegistry.for_processes(config.process_ids)
+        factory = lambda pid, value: FastBFTProcess(pid, config, registry, value)
+        suspects = [1, 2, 3, 4, 5, 6]  # excludes leader(1) = 0; |M| = 6 = 2t+2
+        report = check_t_two_step(
+            factory,
+            n=9,
+            t=2,
+            fault_sets=suspect_fault_sets(suspects, t=2, limit=10),
+        )
+        assert report.is_t_two_step
+
+
+class TestDisjointRolesBound:
+    def test_matches_fab(self):
+        for f in range(1, 8):
+            for t in range(1, f + 1):
+                assert min_processes_disjoint_roles(f, t) == min_processes_fab(f, t)
+
+    def test_always_two_above_ours(self):
+        for f in range(1, 8):
+            for t in range(1, f + 1):
+                assert (
+                    min_processes_disjoint_roles(f, t)
+                    - min_processes_fast_bft(f, t)
+                    == 2
+                )

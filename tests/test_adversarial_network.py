@@ -1,0 +1,159 @@
+"""Safety under adversarial timing: the network schedules, we survive.
+
+Section 2.1's model lets the adversary delay and reorder messages
+arbitrarily before GST (channels stay reliable).  Safety (consistency +
+validity) must hold under *any* such schedule; liveness only after GST.
+These tests drive the protocol through hostile schedules built with the
+network interceptor.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.fastbft import FastBFTProcess
+from repro.core.generalized import GeneralizedFBFTProcess
+from repro.crypto.keys import KeyRegistry
+from repro.sim.network import SynchronousDelay
+from repro.sim.runner import Cluster
+
+
+def build(n, f, t=None, interceptor=None, inputs=None, base_timeout=12.0):
+    config = ProtocolConfig(n=n, f=f, t=t if t is not None else f)
+    registry = KeyRegistry.for_processes(config.process_ids)
+    cls = FastBFTProcess if config.is_vanilla else GeneralizedFBFTProcess
+    procs = [
+        cls(pid, config, registry, (inputs or {}).get(pid, f"v{pid}"),
+            base_timeout=base_timeout)
+        for pid in config.process_ids
+    ]
+    cluster = Cluster(
+        procs, delay_model=SynchronousDelay(1.0), interceptor=interceptor
+    )
+    return cluster, procs
+
+
+class TestReordering:
+    def test_random_reordering_preserves_safety(self):
+        """Deliveries jittered by random amounts: consistency must hold in
+        every seed; decisions may come later."""
+        for seed in range(8):
+            rng = random.Random(seed)
+
+            def jitter(envelope):
+                return envelope.send_time + rng.uniform(0.2, 9.0)
+
+            cluster, procs = build(4, 1, interceptor=jitter)
+            result = cluster.run_until_decided(timeout=3000)
+            assert result.decided, f"seed {seed}"
+            cluster.trace.check_agreement(range(4))
+            assert result.decision_value in {f"v{i}" for i in range(4)}
+
+    def test_votes_delivered_out_of_order(self):
+        """Vote messages to the new leader arrive in adversarial order."""
+        from repro.core.messages import Vote
+
+        order = [7.0, 3.0, 5.0]
+
+        def scramble(envelope):
+            if isinstance(envelope.payload, Vote):
+                return envelope.send_time + order[envelope.src % 3]
+            return None
+
+        cluster, procs = build(4, 1, interceptor=scramble)
+        procs[0].crash()
+        result = cluster.run_until_decided(correct_pids=[1, 2, 3], timeout=3000)
+        assert result.decided
+        cluster.trace.check_agreement([1, 2, 3])
+
+
+class TestTargetedDelays:
+    def test_leader_isolated_then_healed(self):
+        """All traffic to/from the leader is stalled for a while; a view
+        change elects someone else and the system still agrees."""
+        HEAL = 60.0
+
+        def isolate(envelope):
+            if 0 in (envelope.src, envelope.dst):
+                return max(envelope.deliver_time, HEAL)
+            return None
+
+        cluster, procs = build(4, 1, interceptor=isolate)
+        result = cluster.run_until_decided(timeout=3000)
+        assert result.decided
+        cluster.trace.check_agreement(range(4))
+
+    def test_split_cluster_heals(self):
+        """Two halves cannot talk for a while — no quorum forms, so no
+        decision; after healing, agreement is reached exactly once."""
+        HEAL = 50.0
+        left = {0, 1}
+
+        def partition(envelope):
+            crossing = (envelope.src in left) != (envelope.dst in left)
+            if crossing and envelope.send_time < HEAL:
+                return max(envelope.deliver_time, HEAL + 1.0)
+            return None
+
+        cluster, procs = build(4, 1, interceptor=partition)
+        cluster.start()
+        cluster.sim.run(until=HEAL)
+        assert not any(p.decided for p in procs)  # no quorum inside a half
+        result = cluster.run_until_decided(timeout=3000)
+        assert result.decided
+        cluster.trace.check_agreement(range(4))
+
+    def test_slow_path_with_delayed_acksigs(self):
+        """Delaying the slow path's signature messages delays but never
+        corrupts the slow-path decision."""
+        from repro.core.messages import AckSig
+        from repro.byzantine.behaviors import SilentProcess
+
+        def slow_sigs(envelope):
+            if isinstance(envelope.payload, AckSig):
+                return envelope.deliver_time + 5.0
+            return None
+
+        config = ProtocolConfig(n=7, f=2, t=1)
+        registry = KeyRegistry.for_processes(config.process_ids)
+        procs = [
+            GeneralizedFBFTProcess(pid, config, registry, "v")
+            for pid in config.process_ids
+        ]
+        procs[5] = SilentProcess(5)
+        procs[6] = SilentProcess(6)
+        cluster = Cluster(
+            procs, delay_model=SynchronousDelay(1.0), interceptor=slow_sigs
+        )
+        result = cluster.run_until_decided(correct_pids=range(5), timeout=3000)
+        assert result.decided
+        assert result.decision_value == "v"
+
+
+class TestMessageStorms:
+    def test_duplicate_tolerance_by_design(self):
+        """The network never duplicates, but a Byzantine sender can repeat
+        itself; repeated identical messages must not inflate quorums."""
+        from repro.byzantine.behaviors import ByzantineForge
+
+        cluster, procs = build(4, 1)
+        cluster.start()
+        target = procs[2]
+        forge = ByzantineForge(3, target.registry, target.config)
+        for _ in range(50):
+            target._dispatch(3, forge.ack("phantom", 1))
+        assert not target.decided
+
+    def test_stale_view_message_flood_ignored(self):
+        cluster, procs = build(4, 1)
+        cluster.start()
+        target = procs[2]
+        target.enter_view(5)
+        from repro.byzantine.behaviors import ByzantineForge
+
+        forge = ByzantineForge(1, target.registry, target.config)
+        for view in (2, 3, 4):
+            target._dispatch(1, forge.propose("old", view))
+        assert target.vote is None  # nothing stale was accepted
+        assert target.view == 5

@@ -1,0 +1,192 @@
+"""Tests for the Byzantine behaviour library itself."""
+
+import pytest
+
+from repro.byzantine.behaviors import (
+    ByzantineForge,
+    CrashAfter,
+    EquivocatingLeader,
+    ScriptedByzantine,
+    ScriptedSend,
+    SilentProcess,
+)
+from repro.core.fastbft import FastBFTProcess
+from repro.sim.network import RoundSynchronousDelay, SynchronousDelay
+from repro.sim.process import Process
+from repro.sim.runner import Cluster
+
+from helpers import make_config, make_registry
+
+
+class Sink(Process):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.received = []
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload, self.now))
+
+
+class TestSilentProcess:
+    def test_sends_nothing(self):
+        sink = Sink(1)
+        cluster = Cluster([SilentProcess(0), sink])
+        cluster.run(until=50.0)
+        assert sink.received == []
+
+
+class TestCrashAfter:
+    def test_honest_before_crash(self):
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        inner = FastBFTProcess(0, config, registry, "L")
+        procs = [CrashAfter(inner, crash_time=1.0)] + [
+            FastBFTProcess(p, config, registry, "x") for p in range(1, 4)
+        ]
+        cluster = Cluster(procs, delay_model=RoundSynchronousDelay(1.0))
+        result = cluster.run_until_decided(correct_pids=[1, 2, 3], timeout=8.0)
+        # Leader proposed at 0 (honest round 1) then crashed at 1.0: its
+        # ack is missing but 3 correct acks = n - f suffice.
+        assert result.decided
+        assert result.decision_value == "L"
+        assert result.decision_time == 2.0
+
+    def test_crash_fires_before_same_time_deliveries(self):
+        """A process crashing at time 1.0 must not react to messages
+        delivered at exactly 1.0 (the lower bound's failure mode)."""
+        sink = Sink(1)
+        inner = Sink(0)
+        crashed = CrashAfter(inner, crash_time=1.0)
+
+        class Pinger(Process):
+            def on_start(self):
+                self.send(0, "ping")  # delivered at 1.0
+
+        cluster = Cluster(
+            [crashed, sink, Pinger(2)], delay_model=SynchronousDelay(1.0)
+        )
+        cluster.run(until=5.0)
+        assert inner.received == []
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(ValueError):
+            CrashAfter(Sink(0), crash_time=-1.0)
+
+
+class TestScriptedByzantine:
+    def test_script_executes_on_schedule(self):
+        sink = Sink(1)
+        script = [
+            ScriptedSend(time=2.0, to=(1,), payload="early"),
+            ScriptedSend(time=5.0, to=(1,), payload="late"),
+        ]
+        cluster = Cluster(
+            [ScriptedByzantine(0, script), sink],
+            delay_model=SynchronousDelay(1.0),
+        )
+        cluster.run(until=10.0)
+        assert [(p, t) for _, p, t in sink.received] == [
+            ("early", 3.0),
+            ("late", 6.0),
+        ]
+
+    def test_multicast_step(self):
+        sinks = [Sink(i) for i in (1, 2)]
+        script = [ScriptedSend(time=1.0, to=(1, 2), payload="both")]
+        cluster = Cluster([ScriptedByzantine(0, script)] + sinks)
+        cluster.run(until=5.0)
+        assert all(s.received for s in sinks)
+
+
+class TestByzantineForge:
+    def test_forged_messages_carry_own_signature(self):
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        forge = ByzantineForge(2, registry, config)
+        proposal = forge.propose("x", 5)
+        assert proposal.tau.signer == 2
+        from repro.core.payloads import propose_payload
+
+        assert registry.verify(proposal.tau, propose_payload("x", 5))
+
+    def test_forged_impersonation_fails_verification(self):
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        forge = ByzantineForge(2, registry, config)
+        fake = forge.forged_propose_as(0, "x", 1)
+        from repro.core.payloads import propose_payload
+
+        assert fake.tau.signer == 0
+        assert not registry.verify(fake.tau, propose_payload("x", 1))
+
+    def test_nil_vote_is_valid_for_its_signer(self):
+        from repro.core.votes import signed_vote_valid
+
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        forge = ByzantineForge(2, registry, config)
+        assert signed_vote_valid(forge.nil_vote(3), 3, registry, config)
+
+    def test_cert_ack_and_ack_sig(self):
+        from repro.core.payloads import ack_payload, certack_payload
+
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        forge = ByzantineForge(1, registry, config)
+        ca = forge.cert_ack("x", 2)
+        assert registry.verify(ca.phi, certack_payload("x", 2))
+        asig = forge.ack_sig("x", 2)
+        assert registry.verify(asig.phi, ack_payload("x", 2))
+
+
+class TestEquivocatingLeader:
+    def test_sends_assigned_values(self):
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        sinks = [Sink(i) for i in (1, 2, 3)]
+        leader = EquivocatingLeader(
+            0, registry, config, view=1, assignments={1: "x", 2: "x", 3: "y"}
+        )
+        cluster = Cluster([leader] + sinks, delay_model=SynchronousDelay(1.0))
+        cluster.run(until=5.0)
+        assert sinks[0].received[0][1].value == "x"
+        assert sinks[2].received[0][1].value == "y"
+
+    def test_same_value_reuses_one_proposal(self):
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        sinks = [Sink(i) for i in (1, 2, 3)]
+        leader = EquivocatingLeader(
+            0, registry, config, view=1, assignments={1: "x", 2: "x", 3: "x"}
+        )
+        cluster = Cluster([leader] + sinks, delay_model=SynchronousDelay(1.0))
+        cluster.run(until=5.0)
+        proposals = {s.received[0][1] for s in sinks}
+        assert len(proposals) == 1  # identical tau: one signing operation
+
+    def test_acks_target_chosen_subset(self):
+        from repro.core.messages import Ack
+
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        sinks = [Sink(i) for i in (1, 2, 3)]
+        leader = EquivocatingLeader(
+            0, registry, config, view=1,
+            assignments={1: "x"}, ack_value="x", ack_to=(1, 2), ack_time=1.0,
+        )
+        cluster = Cluster([leader] + sinks, delay_model=SynchronousDelay(1.0))
+        cluster.run(until=5.0)
+        acks_1 = [p for _, p, _ in sinks[0].received if isinstance(p, Ack)]
+        acks_3 = [p for _, p, _ in sinks[2].received if isinstance(p, Ack)]
+        assert acks_1 and not acks_3
+
+    def test_selective_silence(self):
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        sinks = [Sink(i) for i in (1, 2, 3)]
+        leader = EquivocatingLeader(
+            0, registry, config, view=1, assignments={1: "x"}  # 2, 3 get nothing
+        )
+        cluster = Cluster([leader] + sinks, delay_model=SynchronousDelay(1.0))
+        cluster.run(until=5.0)
+        assert sinks[0].received and not sinks[1].received

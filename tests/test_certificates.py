@@ -1,0 +1,123 @@
+"""Unit tests for progress and commit certificates."""
+
+import pytest
+
+from repro.core.certificates import (
+    CommitCertificate,
+    ProgressCertificate,
+    commit_certificate_valid,
+    progress_certificate_valid,
+)
+from repro.core.payloads import ack_payload, certack_payload
+
+from helpers import make_config, make_progress_cert, make_registry
+
+
+@pytest.fixture
+def config():
+    return make_config(n=9, f=2)
+
+
+@pytest.fixture
+def registry(config):
+    return make_registry(config)
+
+
+class TestProgressCertificate:
+    def test_valid_certificate_verifies(self, config, registry):
+        cert = make_progress_cert(registry, config, "x", 3)
+        assert cert.verify(registry, config.cert_quorum)
+        assert progress_certificate_valid(cert, "x", 3, registry, config.cert_quorum)
+
+    def test_view_one_requires_no_certificate(self, config, registry):
+        assert progress_certificate_valid(None, "x", 1, registry, config.cert_quorum)
+        cert = make_progress_cert(registry, config, "x", 1)
+        assert not progress_certificate_valid(
+            cert, "x", 1, registry, config.cert_quorum
+        )
+
+    def test_later_views_require_certificate(self, config, registry):
+        assert not progress_certificate_valid(
+            None, "x", 2, registry, config.cert_quorum
+        )
+
+    def test_too_few_signatures_rejected(self, config, registry):
+        cert = make_progress_cert(registry, config, "x", 3, signers=[0, 1])
+        assert not cert.verify(registry, config.cert_quorum)
+
+    def test_duplicate_signers_do_not_count_twice(self, config, registry):
+        payload = certack_payload("x", 3)
+        sig = registry.signer(0).sign(payload)
+        cert = ProgressCertificate(value="x", view=3, signatures=(sig, sig, sig))
+        assert len(cert.signers) == 1
+        assert not cert.verify(registry, config.cert_quorum)
+
+    def test_wrong_value_rejected(self, config, registry):
+        cert = make_progress_cert(registry, config, "x", 3)
+        assert not progress_certificate_valid(
+            cert, "y", 3, registry, config.cert_quorum
+        )
+
+    def test_wrong_view_rejected(self, config, registry):
+        cert = make_progress_cert(registry, config, "x", 3)
+        assert not progress_certificate_valid(
+            cert, "x", 4, registry, config.cert_quorum
+        )
+
+    def test_signature_over_wrong_payload_rejected(self, config, registry):
+        # Signatures over (certack, x, 2) cannot certify view 3.
+        payload = certack_payload("x", 2)
+        sigs = tuple(registry.signer(p).sign(payload) for p in range(3))
+        cert = ProgressCertificate(value="x", view=3, signatures=sigs)
+        assert not cert.verify(registry, config.cert_quorum)
+
+    def test_forged_signer_rejected(self, config, registry):
+        from repro.crypto.keys import Signature
+
+        payload = certack_payload("x", 3)
+        good = [registry.signer(p).sign(payload) for p in range(2)]
+        forged = Signature(signer=5, digest=good[0].digest)
+        cert = ProgressCertificate(
+            value="x", view=3, signatures=tuple(good + [forged])
+        )
+        assert not cert.verify(registry, config.cert_quorum)
+
+    def test_size_metric_is_bounded_by_quorum(self, config, registry):
+        cert = make_progress_cert(registry, config, "x", 100)
+        assert cert.size_in_signatures() == config.cert_quorum == config.f + 1
+
+
+class TestCommitCertificate:
+    def _commit_cert(self, registry, config, value, view, signers=None):
+        if signers is None:
+            signers = list(range(config.commit_quorum))
+        payload = ack_payload(value, view)
+        return CommitCertificate(
+            value=value,
+            view=view,
+            signatures=tuple(registry.signer(p).sign(payload) for p in signers),
+        )
+
+    def test_valid_commit_certificate(self, config, registry):
+        cert = self._commit_cert(registry, config, "x", 2)
+        assert cert.verify(registry, config.commit_quorum)
+        assert commit_certificate_valid(cert, registry, config.commit_quorum)
+
+    def test_none_is_invalid(self, config, registry):
+        assert not commit_certificate_valid(None, registry, config.commit_quorum)
+
+    def test_below_quorum_rejected(self, config, registry):
+        cert = self._commit_cert(registry, config, "x", 2, signers=[0, 1, 2])
+        assert not cert.verify(registry, config.commit_quorum)
+
+    def test_ack_signatures_do_not_make_certack_certs(self, config, registry):
+        """Cross-domain confusion: ack sigs must not verify as a progress
+        certificate (different payload tag)."""
+        payload = ack_payload("x", 2)
+        sigs = tuple(registry.signer(p).sign(payload) for p in range(3))
+        progress = ProgressCertificate(value="x", view=2, signatures=sigs)
+        assert not progress.verify(registry, config.cert_quorum)
+
+    def test_signers_property(self, config, registry):
+        cert = self._commit_cert(registry, config, "x", 2, signers=[4, 2, 0, 1, 3, 5])
+        assert cert.signers == {0, 1, 2, 3, 4, 5}

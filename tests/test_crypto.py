@@ -1,0 +1,126 @@
+"""Unit tests for the simulated signature scheme."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry, Signature, canonical_bytes
+
+
+@pytest.fixture
+def registry():
+    return KeyRegistry.for_processes(range(4))
+
+
+class TestSignVerify:
+    def test_valid_signature_verifies(self, registry):
+        sig = registry.signer(1).sign(("propose", "x", 1))
+        assert registry.verify(sig, ("propose", "x", 1))
+
+    def test_wrong_payload_rejected(self, registry):
+        sig = registry.signer(1).sign(("propose", "x", 1))
+        assert not registry.verify(sig, ("propose", "y", 1))
+        assert not registry.verify(sig, ("propose", "x", 2))
+
+    def test_signer_identity_bound(self, registry):
+        sig = registry.signer(1).sign("payload")
+        forged = Signature(signer=2, digest=sig.digest)
+        assert not registry.verify(forged, "payload")
+
+    def test_unknown_signer_rejected(self, registry):
+        sig = Signature(signer=99, digest=b"x" * 32)
+        assert not registry.verify(sig, "payload")
+
+    def test_signatures_deterministic(self, registry):
+        a = registry.signer(0).sign(("x", 1))
+        b = registry.signer(0).sign(("x", 1))
+        assert a == b
+
+    def test_different_signers_different_digests(self, registry):
+        a = registry.signer(0).sign("payload")
+        b = registry.signer(1).sign("payload")
+        assert a.digest != b.digest
+
+    def test_verify_all(self, registry):
+        payload = ("certack", "x", 2)
+        sigs = [registry.signer(pid).sign(payload) for pid in range(3)]
+        assert registry.verify_all(sigs, payload)
+        bad = sigs + [registry.signer(3).sign(("certack", "x", 3))]
+        assert not registry.verify_all(bad, payload)
+
+    def test_domain_separation(self):
+        a = KeyRegistry.for_processes(range(2), domain=b"domain-a")
+        b = KeyRegistry.for_processes(range(2), domain=b"domain-b")
+        sig = a.signer(0).sign("payload")
+        assert not b.verify(sig, "payload")
+
+
+class TestRegistry:
+    def test_process_ids_sorted(self):
+        reg = KeyRegistry.for_processes([3, 1, 2])
+        assert reg.process_ids == (1, 2, 3)
+
+    def test_duplicate_process_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add_process(0)
+
+    def test_missing_signer_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.signer(42)
+
+
+class TestCanonicalBytes:
+    def test_primitives_round_trip_distinctly(self):
+        values = [None, True, False, 0, 1, -1, 1.5, "1", b"1", "", ()]
+        encodings = [canonical_bytes(v) for v in values]
+        assert len(set(encodings)) == len(encodings)
+
+    def test_int_vs_string_no_collision(self):
+        assert canonical_bytes(1) != canonical_bytes("1")
+
+    def test_bool_vs_int_no_collision(self):
+        assert canonical_bytes(True) != canonical_bytes(1)
+
+    def test_nested_structures(self):
+        a = canonical_bytes(("x", (1, 2), None))
+        b = canonical_bytes(("x", (1, 2), None))
+        assert a == b
+        assert canonical_bytes(("x", (1, 2))) != canonical_bytes(("x", 1, 2))
+
+    def test_tuple_list_equivalent(self):
+        assert canonical_bytes((1, 2)) == canonical_bytes([1, 2])
+
+    def test_set_order_independent(self):
+        assert canonical_bytes({1, 2, 3}) == canonical_bytes({3, 2, 1})
+
+    def test_dict_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes(
+            {"b": 2, "a": 1}
+        )
+
+    def test_length_prefix_prevents_concat_collision(self):
+        assert canonical_bytes(("ab", "c")) != canonical_bytes(("a", "bc"))
+
+    def test_objects_with_signing_fields(self):
+        sig = Signature(signer=1, digest=b"abc")
+        encoded = canonical_bytes(sig)
+        assert b"Signature" in encoded
+        assert canonical_bytes(sig) == canonical_bytes(
+            Signature(signer=1, digest=b"abc")
+        )
+        assert canonical_bytes(sig) != canonical_bytes(
+            Signature(signer=2, digest=b"abc")
+        )
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+    def test_protocol_messages_canonicalize(self):
+        from repro.core.messages import Ack, Propose
+
+        reg = KeyRegistry.for_processes(range(2))
+        tau = reg.signer(0).sign(("propose", "x", 1))
+        msg = Propose(value="x", view=1, cert=None, tau=tau)
+        assert canonical_bytes(msg) == canonical_bytes(
+            Propose(value="x", view=1, cert=None, tau=tau)
+        )
+        assert canonical_bytes(Ack("x", 1)) != canonical_bytes(Ack("x", 2))

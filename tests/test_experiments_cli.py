@@ -1,0 +1,52 @@
+"""Tests for the `python -m repro.experiments` CLI."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, main
+
+
+class TestExperimentFunctions:
+    def test_every_experiment_produces_a_table(self):
+        for name, fn in EXPERIMENTS.items():
+            output = fn()
+            assert isinstance(output, str)
+            lines = output.splitlines()
+            assert len(lines) >= 3, name  # header, rule, >= 1 row
+
+    def test_resilience_headline(self):
+        table = EXPERIMENTS["resilience"]()
+        first_row = table.splitlines()[2]
+        assert first_row.split()[:4] == ["1", "1", "4", "6"]
+
+    def test_lower_bound_shows_flip(self):
+        table = EXPERIMENTS["lower-bound"]()
+        assert "DISAGREEMENT" in table
+        assert "safe" in table
+
+    def test_ablation_shows_both_columns(self):
+        table = EXPERIMENTS["ablation"]()
+        for row in table.splitlines()[2:]:
+            assert "safe" in row and "DISAGREEMENT" in row
+
+
+class TestCLI:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["resilience"]) == 0
+        out = capsys.readouterr().out
+        assert "FBFT (ours)" in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["nope"])
+        assert exc.value.code != 0
+
+    def test_run_multiple(self, capsys):
+        assert main(["resilience", "quorums"]) == 0
+        out = capsys.readouterr().out
+        assert "QI1" in out and "FaB" in out

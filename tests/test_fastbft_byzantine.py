@@ -1,0 +1,180 @@
+"""Byzantine-fault tests for the core protocol: equivocation, forgery,
+silence — consistency must hold in all of them."""
+
+import pytest
+
+from repro.byzantine.behaviors import (
+    ByzantineForge,
+    EquivocatingLeader,
+    SilentProcess,
+)
+from repro.core.fastbft import FastBFTProcess
+from repro.sim.network import SynchronousDelay
+from repro.sim.runner import Cluster
+
+from helpers import make_config, make_registry
+
+
+def build_with_byzantine(config, registry, byzantine_builders, inputs=None):
+    """Cluster where some pids are replaced by Byzantine processes."""
+    inputs = inputs or {pid: f"v{pid}" for pid in config.process_ids}
+    processes = []
+    for pid in config.process_ids:
+        if pid in byzantine_builders:
+            processes.append(byzantine_builders[pid]())
+        else:
+            processes.append(
+                FastBFTProcess(pid, config, registry, inputs[pid])
+            )
+    return Cluster(processes, delay_model=SynchronousDelay(1.0))
+
+
+class TestSilentByzantine:
+    def test_f_silent_processes_do_not_block_fast_path(self):
+        config = make_config(n=9, f=2)
+        registry = make_registry(config)
+        byz = {7: lambda: SilentProcess(7), 8: lambda: SilentProcess(8)}
+        cluster = build_with_byzantine(config, registry, byz)
+        result = cluster.run_until_decided(correct_pids=range(7), timeout=50)
+        assert result.decided
+        assert result.decision_time == 2.0  # still two steps
+
+    def test_silent_leader_triggers_view_change(self):
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        byz = {0: lambda: SilentProcess(0)}
+        cluster = build_with_byzantine(config, registry, byz)
+        result = cluster.run_until_decided(correct_pids=[1, 2, 3], timeout=500)
+        assert result.decided
+        assert result.decision_value == "v1"
+
+
+class TestEquivocatingLeader:
+    def test_split_proposals_do_not_violate_consistency(self):
+        """Leader shows x to half the processes and y to the other half:
+        neither reaches quorum; the view change resolves it safely."""
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        byz = {
+            0: lambda: EquivocatingLeader(
+                0,
+                registry,
+                config,
+                view=1,
+                assignments={1: "x", 2: "x", 3: "y"},
+            )
+        }
+        cluster = build_with_byzantine(config, registry, byz)
+        result = cluster.run_until_decided(correct_pids=[1, 2, 3], timeout=500)
+        assert result.decided
+        value = cluster.trace.check_agreement([1, 2, 3])
+        assert value is not None
+
+    def test_equivocation_with_byzantine_acks_keeps_consistency(self):
+        """The leader pushes x over the quorum line with its own ack; the
+        surviving value must then be x everywhere."""
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        byz = {
+            0: lambda: EquivocatingLeader(
+                0,
+                registry,
+                config,
+                view=1,
+                assignments={1: "x", 2: "x", 3: "y"},
+                ack_value="x",
+                ack_to=(1, 2),
+                ack_time=1.0,
+            )
+        }
+        cluster = build_with_byzantine(config, registry, byz)
+        result = cluster.run_until_decided(correct_pids=[1, 2, 3], timeout=500)
+        assert result.decided
+        # Processes 1, 2 decide x fast (acks: 1, 2, leader = 3 = n - f).
+        assert cluster.trace.decision_of(1).value == "x"
+        assert cluster.trace.decision_of(1).time == 2.0
+        # Process 3 must converge to x, never y.
+        assert cluster.trace.decision_of(3).value == "x"
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_equivocation_at_minimum_n_is_safe(self, f):
+        config = make_config(n=5 * f - 1, f=f)
+        registry = make_registry(config)
+        correct = list(range(f, config.n))
+        half = len(correct) // 2
+        assignments = {pid: "x" for pid in correct[:half]}
+        assignments.update({pid: "y" for pid in correct[half:]})
+        byz = {
+            0: lambda: EquivocatingLeader(
+                0, registry, config, view=1, assignments=assignments,
+                ack_value="x", ack_to=tuple(correct[:half]), ack_time=1.0,
+            )
+        }
+        for pid in range(1, f):
+            byz[pid] = lambda pid=pid: SilentProcess(pid)
+        cluster = build_with_byzantine(config, registry, byz)
+        result = cluster.run_until_decided(correct_pids=correct, timeout=500)
+        assert result.decided
+        cluster.trace.check_agreement(correct)
+
+
+class TestForgeryResistance:
+    def test_byzantine_cannot_fake_progress_certificate(self):
+        """f Byzantine signatures are not enough for a progress cert, and
+        forged extra signatures fail verification."""
+        from repro.core.certificates import ProgressCertificate
+        from repro.core.payloads import certack_payload
+        from repro.crypto.keys import Signature
+
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        own = registry.signer(0).sign(certack_payload("evil", 2))
+        forged = Signature(signer=1, digest=own.digest)
+        cert = ProgressCertificate(
+            value="evil", view=2, signatures=(own, forged)
+        )
+        assert not cert.verify(registry, config.cert_quorum)
+
+    def test_process_rejects_proposal_with_forged_cert(self):
+        from repro.core.certificates import ProgressCertificate
+        from repro.core.payloads import certack_payload
+        from repro.crypto.keys import Signature
+
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        cluster = Cluster(
+            [
+                FastBFTProcess(pid, config, registry, "v")
+                for pid in config.process_ids
+            ],
+            delay_model=SynchronousDelay(1.0),
+        )
+        cluster.start()
+        target = cluster.process(2)
+        target.enter_view(2)
+        forge = ByzantineForge(1, registry, config)  # pid 1 = leader(2)
+        own = registry.signer(1).sign(certack_payload("evil", 2))
+        fake_cert = ProgressCertificate(
+            value="evil",
+            view=2,
+            signatures=(own, Signature(signer=3, digest=own.digest)),
+        )
+        target._dispatch(1, forge.propose("evil", 2, fake_cert))
+        assert target.vote is None or target.vote.value != "evil"
+
+    def test_byzantine_acks_alone_cannot_decide(self):
+        """f Byzantine acks for a value nobody proposed must not decide."""
+        config = make_config(n=4, f=1)
+        registry = make_registry(config)
+        cluster = Cluster(
+            [
+                FastBFTProcess(pid, config, registry, "v")
+                for pid in config.process_ids
+            ],
+            delay_model=SynchronousDelay(1.0),
+        )
+        cluster.start()
+        target = cluster.process(2)
+        forge = ByzantineForge(3, registry, config)
+        target._dispatch(3, forge.ack("phantom", 1))
+        assert not target.decided

@@ -1,0 +1,157 @@
+"""Fast-path tests for the core protocol (Figure 1a)."""
+
+import pytest
+
+from repro.core.messages import Ack, Propose
+from repro.sim.trace import message_delays
+
+from helpers import build_cluster, make_config
+
+
+class TestCommonCase:
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_decides_in_two_message_delays(self, f):
+        config = make_config(n=5 * f - 1, f=f)
+        cluster = build_cluster(config, inputs=["v"] * config.n)
+        result = cluster.run_until_decided()
+        assert result.decided
+        assert message_delays(result.decision_time, 1.0) == 2
+
+    def test_headline_four_processes(self):
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        result = cluster.run_until_decided()
+        assert result.decided
+        assert result.decision_time == 2.0
+
+    def test_decides_leaders_input(self):
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config, inputs=["L", "a", "b", "c"])
+        result = cluster.run_until_decided()
+        assert result.decision_value == "L"
+
+    def test_every_correct_process_decides(self):
+        config = make_config(n=9, f=2)
+        cluster = build_cluster(config)
+        cluster.run_until_decided()
+        for proc in cluster.processes.values():
+            assert proc.decided
+
+    def test_message_pattern_matches_figure_1a(self):
+        """One propose broadcast then one ack broadcast per process."""
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        cluster.run_until_decided()
+        counts = cluster.trace.messages_by_type()
+        assert counts["Propose"] == 4  # leader -> everyone
+        assert counts["Ack"] == 16  # everyone -> everyone
+
+    def test_more_processes_than_minimum_still_two_steps(self):
+        config = make_config(n=12, f=2)
+        cluster = build_cluster(config, inputs=["v"] * 12)
+        result = cluster.run_until_decided()
+        assert result.decision_time == 2.0
+
+    def test_processes_adopt_vote_before_acking(self):
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        cluster.run(until=1.5)  # proposals delivered at 1.0
+        for pid in range(4):
+            proc = cluster.process(pid)
+            assert proc.vote is not None
+            assert proc.vote.view == 1
+        # no decisions yet (acks land at 2.0)
+        assert not any(p.decided for p in cluster.processes.values())
+
+
+class TestAckCounting:
+    def test_no_decision_below_quorum(self):
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        # Crash two processes: only 2 ackers < n - f = 3 remain.
+        cluster.process(2).crash()
+        cluster.process(3).crash()
+        result = cluster.run_until_decided(correct_pids=[0, 1], timeout=8.0)
+        assert not result.decided
+
+    def test_decision_at_exact_quorum(self):
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        cluster.process(3).crash()  # 3 ackers = n - f exactly
+        result = cluster.run_until_decided(correct_pids=[0, 1, 2], timeout=8.0)
+        assert result.decided
+        assert result.decision_time == 2.0
+
+    def test_acks_for_different_values_not_mixed(self):
+        """Acks are keyed by (value, view); a mix must not decide."""
+        from repro.core.fastbft import FastBFTProcess
+
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        proc = cluster.process(1)
+        cluster.start()
+        # Inject acks directly: 2 for "a", 2 for "b" — no quorum for either.
+        proc._handle_ack(0, Ack("a", 1))
+        proc._handle_ack(2, Ack("a", 1))
+        proc._handle_ack(3, Ack("b", 1))
+        assert not proc.decided
+
+    def test_duplicate_acks_from_same_sender_count_once(self):
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        proc = cluster.process(1)
+        cluster.start()
+        for _ in range(5):
+            proc._handle_ack(0, Ack("a", 1))
+        assert not proc.decided
+
+
+class TestProposalValidation:
+    def test_proposal_from_non_leader_ignored(self):
+        from repro.byzantine.behaviors import ByzantineForge
+
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        cluster.start()
+        proc = cluster.process(2)
+        forge = ByzantineForge(3, proc.registry, config)  # pid 3 != leader(1)
+        proc._dispatch(3, forge.propose("evil", 1))
+        assert proc.vote is None
+
+    def test_proposal_with_bad_tau_ignored(self):
+        from repro.byzantine.behaviors import ByzantineForge
+
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        cluster.start()
+        proc = cluster.process(2)
+        forge = ByzantineForge(3, proc.registry, config)
+        # Forged tau claiming to be from the leader.
+        proc._dispatch(0, forge.forged_propose_as(0, "evil", 1))
+        assert proc.vote is None
+
+    def test_second_proposal_in_same_view_not_acked(self):
+        from repro.byzantine.behaviors import ByzantineForge
+
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        cluster.start()
+        cluster.sim.run(until=1.0)  # first proposal accepted
+        proc = cluster.process(2)
+        first_vote = proc.vote
+        forge = ByzantineForge(0, proc.registry, config)  # the real leader
+        proc._dispatch(0, forge.propose("second", 1))
+        assert proc.vote == first_vote
+
+    def test_proposal_for_later_view_buffered_until_entry(self):
+        from repro.byzantine.behaviors import ByzantineForge
+
+        config = make_config(n=4, f=1)
+        cluster = build_cluster(config)
+        cluster.start()
+        proc = cluster.process(2)
+        forge = ByzantineForge(1, proc.registry, config)  # leader(2)
+        cert_missing = forge.propose("future", 2)  # invalid: no cert
+        proc._dispatch(1, cert_missing)
+        assert proc.view == 1
+        assert 2 in proc._future

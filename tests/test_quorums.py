@@ -1,0 +1,150 @@
+"""Unit tests for quorum arithmetic and the QI properties (Section 3.3)."""
+
+import pytest
+
+from repro.core.quorums import (
+    all_qi_hold,
+    commit_quorum,
+    generalized_commit_overlaps,
+    generalized_fast_vote_overlap,
+    guaranteed_correct_in_intersection,
+    intersection_size,
+    min_processes_fab,
+    min_processes_fast_bft,
+    min_processes_paxos_crash,
+    min_processes_pbft,
+    qi1_holds,
+    qi2_holds,
+    qi3_holds,
+    quorum_report,
+)
+
+
+class TestMinimumProcessCounts:
+    def test_vanilla_is_5f_minus_1(self):
+        assert min_processes_fast_bft(1, 1) == 4
+        assert min_processes_fast_bft(2, 2) == 9
+        assert min_processes_fast_bft(3, 3) == 14
+
+    def test_t1_is_3f_plus_1(self):
+        # The headline: optimal resilience with a fast path under 1 fault.
+        assert min_processes_fast_bft(1, 1) == 4
+        assert min_processes_fast_bft(2, 1) == 7
+        assert min_processes_fast_bft(3, 1) == 10
+
+    def test_paper_headline_f1_needs_4_vs_fab_6(self):
+        assert min_processes_fast_bft(1, 1) == 4
+        assert min_processes_fab(1, 1) == 6
+
+    def test_ours_always_two_below_fab(self):
+        for f in range(1, 10):
+            for t in range(1, f + 1):
+                ours = min_processes_fast_bft(f, t)
+                fab = min_processes_fab(f, t)
+                assert fab - ours == 2 or ours == 3 * f + 1
+
+    def test_never_below_classic_bound(self):
+        for f in range(1, 10):
+            for t in range(1, f + 1):
+                assert min_processes_fast_bft(f, t) >= 3 * f + 1
+
+    def test_pbft_and_paxos(self):
+        assert min_processes_pbft(1) == 4
+        assert min_processes_pbft(3) == 10
+        assert min_processes_paxos_crash(1) == 3
+        assert min_processes_paxos_crash(2) == 5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            min_processes_fast_bft(0, 0)
+        with pytest.raises(ValueError):
+            min_processes_fast_bft(2, 3)
+        with pytest.raises(ValueError):
+            min_processes_fab(1, 0)
+        with pytest.raises(ValueError):
+            min_processes_pbft(-1)
+
+
+class TestIntersections:
+    def test_intersection_size(self):
+        assert intersection_size(10, 7, 7) == 4
+        assert intersection_size(10, 3, 3) == 0
+
+    def test_guaranteed_correct(self):
+        assert guaranteed_correct_in_intersection(10, 7, 7, 2) == 2
+        assert guaranteed_correct_in_intersection(10, 7, 7, 5) == 0
+
+
+class TestQIProperties:
+    def test_qi1_boundary_is_3f_plus_1(self):
+        for f in range(1, 8):
+            assert qi1_holds(3 * f + 1, f)
+            assert not qi1_holds(3 * f, f)
+
+    def test_qi2_boundary_is_5f_minus_1(self):
+        # The key new property: exactly n >= 5f - 1.
+        for f in range(1, 8):
+            assert qi2_holds(5 * f - 1, f)
+            assert not qi2_holds(5 * f - 2, f)
+
+    def test_qi3_holds_everywhere_relevant(self):
+        for f in range(1, 8):
+            for n in range(3 * f + 1, 6 * f):
+                assert qi3_holds(n, f)
+
+    def test_all_qi_iff_5f_minus_1(self):
+        for f in range(1, 8):
+            assert all_qi_hold(5 * f - 1, f)
+            assert not all_qi_hold(5 * f - 2, f)
+
+
+class TestCommitQuorum:
+    def test_value(self):
+        assert commit_quorum(7, 2) == 5  # Figure 5's configuration
+        assert commit_quorum(4, 1) == 3
+
+    def test_two_commit_quorums_share_a_correct_process(self):
+        for f in range(1, 6):
+            for t in range(1, f + 1):
+                n = min_processes_fast_bft(f, t)
+                cc, cf, cv = generalized_commit_overlaps(n, f, t)
+                assert cc >= 1, (n, f, t)
+                assert cf >= 1, (n, f, t)
+                assert cv >= 1, (n, f, t)
+
+
+class TestGeneralizedOverlap:
+    def test_fast_vote_overlap_meets_threshold_at_bound(self):
+        """Appendix A.3 case 3: the f + t selection threshold is sound
+        exactly from n = 3f + 2t - 1."""
+        for f in range(1, 8):
+            for t in range(1, f + 1):
+                n = max(3 * f + 2 * t - 1, 3 * f + 1)
+                assert generalized_fast_vote_overlap(n, f, t) >= f + t
+
+    def test_fast_vote_overlap_fails_below_bound(self):
+        for f in range(2, 8):
+            for t in range(2, f + 1):
+                n = 3 * f + 2 * t - 2
+                assert generalized_fast_vote_overlap(n, f, t) < f + t
+
+
+class TestQuorumReport:
+    def test_report_at_bound_is_safe(self):
+        report = quorum_report(9, 2, 2)
+        assert report.safe_vanilla
+        assert report.safe_generalized
+        assert report.meets_bound
+
+    def test_report_below_bound_is_unsafe(self):
+        report = quorum_report(8, 2, 2)
+        assert not report.safe_vanilla
+        assert not report.meets_bound
+
+    def test_generalized_report_below_bound(self):
+        report = quorum_report(11, 3, 2)
+        assert not report.safe_generalized
+        assert not report.meets_bound
+        at = quorum_report(12, 3, 2)
+        assert at.safe_generalized
+        assert at.meets_bound

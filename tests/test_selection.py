@@ -1,0 +1,229 @@
+"""Unit tests for the selection algorithm (Section 3.2 / Appendix A.2)."""
+
+import pytest
+
+from repro.core.selection import (
+    AnyValueSafe,
+    NeedMoreVotes,
+    Selected,
+    detect_equivocation,
+    run_selection,
+    selection_admits,
+)
+
+from helpers import (
+    make_config,
+    make_registry,
+    make_signed_vote,
+    make_vote_record,
+    make_vote_set,
+)
+
+
+@pytest.fixture
+def config():
+    return make_config(n=9, f=2)  # vanilla: vote quorum 7, threshold 2f = 4
+
+
+@pytest.fixture
+def registry(config):
+    return make_registry(config)
+
+
+class TestBasicCases:
+    def test_too_few_votes(self, config, registry):
+        votes = make_vote_set(registry, config, 2, {p: None for p in range(3)})
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, NeedMoreVotes)
+
+    def test_all_nil_any_value_safe(self, config, registry):
+        votes = make_vote_set(registry, config, 2, {p: None for p in range(7)})
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, AnyValueSafe)
+        assert "nil" in outcome.rationale
+
+    def test_unique_value_at_max_view_selected(self, config, registry):
+        assignments = {p: "x" for p in range(4)}
+        assignments.update({p: None for p in range(4, 7)})
+        votes = make_vote_set(registry, config, 2, assignments)
+        outcome = run_selection(votes, config)
+        assert outcome == Selected(
+            value="x", rationale="unique value at max view 1", excluded=frozenset()
+        )
+
+    def test_single_non_nil_vote_is_decisive(self, config, registry):
+        assignments = {p: None for p in range(6)}
+        assignments[6] = "x"
+        votes = make_vote_set(registry, config, 2, assignments)
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, Selected) and outcome.value == "x"
+
+    def test_higher_view_vote_wins(self, config, registry):
+        """Votes from a later view override earlier ones (Lemma 3.2)."""
+        votes = make_vote_set(
+            registry,
+            config,
+            4,
+            {0: "old", 1: "old", 2: "old", 3: "new", 4: None, 5: None, 6: None},
+            vote_views={0: 1, 1: 1, 2: 1, 3: 3},
+        )
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, Selected) and outcome.value == "new"
+
+
+class TestEquivocation:
+    def _equivocated_votes(self, registry, config, x_count, y_count, nil_count,
+                           include_equivocator_vote=False, view=2):
+        """Votes at view `view` referencing equivocating view-1 proposals."""
+        assignments = {}
+        pid = 1  # pid 0 is leader(1), the equivocator
+        for _ in range(x_count):
+            assignments[pid] = "x"
+            pid += 1
+        for _ in range(y_count):
+            assignments[pid] = "y"
+            pid += 1
+        for _ in range(nil_count):
+            assignments[pid] = None
+            pid += 1
+        votes = make_vote_set(registry, config, view, assignments)
+        if include_equivocator_vote:
+            vote = make_vote_record(registry, config, "x", 1)
+            votes[0] = make_signed_vote(registry, config, 0, vote, view)
+        return votes
+
+    def test_equivocation_detected(self, config, registry):
+        votes = self._equivocated_votes(registry, config, 4, 3, 0)
+        pair = detect_equivocation(votes, 1)
+        assert pair is not None
+        values = {pair[0].vote.value, pair[1].vote.value}
+        assert values == {"x", "y"}
+
+    def test_threshold_reached_selects_value(self, config, registry):
+        # 4 = 2f votes for x (excluding the equivocator) pin x.
+        votes = self._equivocated_votes(registry, config, 4, 3, 0)
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, Selected)
+        assert outcome.value == "x"
+        assert 0 in outcome.excluded
+
+    def test_threshold_not_reached_any_safe(self, config, registry):
+        # 3 < 2f votes for x: nothing can have been decided (Lemma 3.5).
+        votes = self._equivocated_votes(registry, config, 3, 3, 1)
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, AnyValueSafe)
+        assert 0 in outcome.excluded
+
+    def test_equivocator_own_vote_triggers_wait(self, config, registry):
+        """With the equivocator's vote in the set, excluding it leaves
+        n - f - 1 votes: the leader must wait for one more (Section 3.2)."""
+        votes = self._equivocated_votes(
+            registry, config, 3, 3, 0, include_equivocator_vote=True
+        )
+        assert len(votes) == 7  # exactly n - f, but one is the equivocator's
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, NeedMoreVotes)
+        assert 0 in outcome.excluded
+
+    def test_extra_vote_after_exclusion_resolves(self, config, registry):
+        votes = self._equivocated_votes(
+            registry, config, 4, 3, 0, include_equivocator_vote=True
+        )
+        assert len(votes) == 8
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, Selected) and outcome.value == "x"
+
+    def test_restart_when_higher_view_appears(self, config, registry):
+        """If the extra vote has a higher view, selection restarts with the
+        new maximum (the 'restart' clause in Section 3.2)."""
+        votes = self._equivocated_votes(
+            registry, config, 3, 3, 0, include_equivocator_vote=True, view=4
+        )
+        # An 8th vote referencing view 3 (> 1) — now w = 3, unique value.
+        vote = make_vote_record(registry, config, "z", 3)
+        votes[7] = make_signed_vote(registry, config, 7, vote, 4)
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, Selected)
+        assert outcome.value == "z"
+
+    def test_two_values_cannot_both_reach_threshold(self, config, registry):
+        # n - f = 7 votes, threshold 4: 4 + 4 > 7, structurally impossible.
+        votes = self._equivocated_votes(registry, config, 4, 3, 0)
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, Selected)  # only x qualifies
+
+
+class TestGeneralizedSelection:
+    def test_commit_certificate_pins_value(self):
+        config = make_config(n=7, f=2, t=1)
+        registry = make_registry(config)
+        from repro.core.certificates import CommitCertificate
+        from repro.core.payloads import ack_payload
+
+        payload = ack_payload("x", 1)
+        cc = CommitCertificate(
+            value="x",
+            view=1,
+            signatures=tuple(
+                registry.signer(p).sign(payload)
+                for p in range(config.commit_quorum)
+            ),
+        )
+        # Equivocation at view 1 with only 1 x vote (below f + t = 3), but
+        # one vote carries a commit certificate for x in view 1.
+        vote_x = make_vote_record(registry, config, "x", 1, commit_cert=cc)
+        votes = {
+            1: make_signed_vote(registry, config, 1, vote_x, 2),
+        }
+        for pid, value in [(2, "y"), (3, "y"), (4, None), (5, None)]:
+            vote = (
+                make_vote_record(registry, config, value, 1) if value else None
+            )
+            votes[pid] = make_signed_vote(registry, config, pid, vote, 2)
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, Selected)
+        assert outcome.value == "x"
+        assert "commit certificate" in outcome.rationale
+
+    def test_f_plus_t_threshold(self):
+        config = make_config(n=7, f=2, t=1)  # threshold f + t = 3
+        registry = make_registry(config)
+        votes = make_vote_set(
+            registry, config, 2, {1: "x", 2: "x", 3: "x", 4: "y", 5: None}
+        )
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, Selected) and outcome.value == "x"
+
+    def test_below_f_plus_t_any_safe(self):
+        config = make_config(n=7, f=2, t=1)
+        registry = make_registry(config)
+        votes = make_vote_set(
+            registry, config, 2, {1: "x", 2: "x", 3: "y", 4: None, 5: None}
+        )
+        outcome = run_selection(votes, config)
+        assert isinstance(outcome, AnyValueSafe)
+
+
+class TestSelectionAdmits:
+    def test_admits_selected_value_only(self, config, registry):
+        assignments = {p: "x" for p in range(4)}
+        assignments.update({p: None for p in range(4, 7)})
+        votes = make_vote_set(registry, config, 2, assignments)
+        assert selection_admits(votes, "x", config)
+        assert not selection_admits(votes, "y", config)
+
+    def test_any_safe_admits_everything(self, config, registry):
+        votes = make_vote_set(registry, config, 2, {p: None for p in range(7)})
+        assert selection_admits(votes, "x", config)
+        assert selection_admits(votes, "anything", config)
+
+    def test_need_more_votes_admits_nothing(self, config, registry):
+        votes = make_vote_set(registry, config, 2, {p: None for p in range(3)})
+        assert not selection_admits(votes, "x", config)
+
+    def test_deterministic_across_runs(self, config, registry):
+        assignments = {p: "x" for p in range(4)}
+        assignments.update({p: None for p in range(4, 7)})
+        votes = make_vote_set(registry, config, 2, assignments)
+        outcomes = {str(run_selection(votes, config)) for _ in range(5)}
+        assert len(outcomes) == 1

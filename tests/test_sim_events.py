@@ -1,0 +1,201 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.sim.events import (
+    SimulationError,
+    SimulationTimeout,
+    Simulator,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self):
+        sim = Simulator()
+        fired = []
+        for name in "abcde":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(("first", sim.now))
+            sim.schedule(2.0, lambda: fired.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [("first", 1.0), ("second", 3.0)]
+
+    def test_zero_delay_event_fires_at_current_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [1.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancel_from_earlier_event(self):
+        sim = Simulator()
+        fired = []
+        later = sim.schedule(2.0, lambda: fired.append("later"))
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_handle_reports_time_and_label(self):
+        sim = Simulator()
+        handle = sim.schedule(4.0, lambda: None, label="hello")
+        assert handle.time == 4.0
+        assert handle.label == "hello"
+
+
+class TestRunBounds:
+    def test_run_until_time_bound(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_bound_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=5.0)
+        assert fired == [5]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_step_executes_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        assert sim.step()
+        assert fired == ["a"]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestRunUntilPredicate:
+    def test_returns_time_predicate_became_true(self):
+        sim = Simulator()
+        state = {"done": False}
+        sim.schedule(3.0, lambda: state.update(done=True))
+        time = sim.run_until(lambda: state["done"])
+        assert time == 3.0
+
+    def test_immediate_predicate(self):
+        sim = Simulator()
+        assert sim.run_until(lambda: True) == 0.0
+
+    def test_timeout_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationTimeout):
+            sim.run_until(lambda: False, timeout=10.0)
+
+    def test_does_not_run_past_timeout(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100.0, lambda: fired.append("late"))
+        with pytest.raises(SimulationTimeout):
+            sim.run_until(lambda: False, timeout=10.0)
+        assert fired == []
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_sequences(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for i in range(50):
+                sim.schedule((i * 7) % 13 + 0.5, lambda i=i: order.append(i))
+            sim.run()
+            return order
+
+        assert run_once() == run_once()

@@ -1,0 +1,208 @@
+"""Unit tests for the simulated network and delay models."""
+
+import math
+
+import pytest
+
+from repro.sim.events import Simulator
+from repro.sim.network import (
+    Network,
+    PartialSynchronyDelay,
+    RandomDelay,
+    RoundSynchronousDelay,
+    SynchronousDelay,
+)
+
+
+def make_network(delay_model=None, interceptor=None, pids=range(4)):
+    sim = Simulator()
+    net = Network(sim, delay_model=delay_model, interceptor=interceptor)
+    inboxes = {pid: [] for pid in pids}
+    for pid in pids:
+        net.register(
+            pid,
+            lambda src, payload, pid=pid: inboxes[pid].append(
+                (src, payload, net.sim.now)
+            ),
+        )
+    return sim, net, inboxes
+
+
+class TestSynchronousDelay:
+    def test_fixed_delay(self):
+        sim, net, inboxes = make_network(SynchronousDelay(2.5))
+        net.send(0, 1, "hello")
+        sim.run()
+        assert inboxes[1] == [(0, "hello", 2.5)]
+
+    def test_sender_identity_preserved(self):
+        sim, net, inboxes = make_network()
+        net.send(3, 2, "msg")
+        sim.run()
+        assert inboxes[2][0][0] == 3
+
+
+class TestRoundSynchronousDelay:
+    def test_message_at_time_zero_arrives_at_delta(self):
+        model = RoundSynchronousDelay(1.0)
+        assert model.delivery_time(0.0) == 1.0
+
+    def test_message_mid_round_arrives_at_round_boundary(self):
+        model = RoundSynchronousDelay(1.0)
+        assert model.delivery_time(0.4) == 1.0
+        assert model.delivery_time(1.7) == 2.0
+
+    def test_message_on_boundary_goes_to_next_round(self):
+        model = RoundSynchronousDelay(1.0)
+        assert model.delivery_time(1.0) == 2.0
+
+    def test_custom_delta(self):
+        model = RoundSynchronousDelay(5.0)
+        assert model.delivery_time(0.0) == 5.0
+        assert model.delivery_time(7.0) == 10.0
+
+    def test_end_to_end_two_hops(self):
+        sim, net, inboxes = make_network(RoundSynchronousDelay(1.0))
+        # Relay: on delivery at 1.0, respond; response arrives at 2.0.
+        net.unregister(1)
+        net.register(1, lambda src, payload: net.send(1, 0, "pong"))
+        net.send(0, 1, "ping")
+        sim.run()
+        assert inboxes[0] == [(1, "pong", 2.0)]
+
+
+class TestPartialSynchronyDelay:
+    def test_after_gst_delay_is_delta(self):
+        model = PartialSynchronyDelay(delta=1.0, gst=10.0, seed=1)
+        assert model.delay(0, 1, 10.0) == 1.0
+        assert model.delay(0, 1, 50.0) == 1.0
+
+    def test_before_gst_delay_bounded(self):
+        model = PartialSynchronyDelay(delta=1.0, gst=100.0, pre_gst_max=30.0, seed=2)
+        for _ in range(50):
+            delay = model.delay(0, 1, 5.0)
+            assert 0.0 <= delay <= 30.0
+
+    def test_messages_in_flight_at_gst_arrive_by_gst_plus_delta(self):
+        model = PartialSynchronyDelay(delta=1.0, gst=10.0, pre_gst_max=1000.0, seed=3)
+        for send_time in (0.0, 5.0, 9.9):
+            arrival = send_time + model.delay(0, 1, send_time)
+            assert arrival <= 10.0 + 1.0 + 1e-9
+
+    def test_deterministic_given_seed(self):
+        a = PartialSynchronyDelay(gst=100.0, seed=7)
+        b = PartialSynchronyDelay(gst=100.0, seed=7)
+        assert [a.delay(0, 1, 1.0) for _ in range(10)] == [
+            b.delay(0, 1, 1.0) for _ in range(10)
+        ]
+
+
+class TestRandomDelay:
+    def test_within_bounds(self):
+        model = RandomDelay(0.5, 1.5, seed=0)
+        for _ in range(100):
+            assert 0.5 <= model.delay(0, 1, 0.0) <= 1.5
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDelay(2.0, 1.0)
+        with pytest.raises(ValueError):
+            RandomDelay(-1.0, 1.0)
+
+    def test_seeded_determinism(self):
+        a = RandomDelay(seed=5)
+        b = RandomDelay(seed=5)
+        assert [a.delay(0, 1, 0.0) for _ in range(20)] == [
+            b.delay(0, 1, 0.0) for _ in range(20)
+        ]
+
+
+class TestNetwork:
+    def test_broadcast_reaches_everyone_including_self(self):
+        sim, net, inboxes = make_network()
+        net.broadcast(0, "all")
+        sim.run()
+        for pid in range(4):
+            assert inboxes[pid] == [(0, "all", 1.0)]
+
+    def test_broadcast_exclude_self(self):
+        sim, net, inboxes = make_network()
+        net.broadcast(0, "others", include_self=False)
+        sim.run()
+        assert inboxes[0] == []
+        assert inboxes[1] == [(0, "others", 1.0)]
+
+    def test_unknown_destination_rejected(self):
+        sim, net, _ = make_network()
+        with pytest.raises(ValueError):
+            net.send(0, 99, "x")
+
+    def test_duplicate_registration_rejected(self):
+        sim, net, _ = make_network()
+        with pytest.raises(ValueError):
+            net.register(0, lambda s, p: None)
+
+    def test_message_to_unregistered_destination_dropped_silently(self):
+        sim, net, inboxes = make_network()
+        net.send(0, 1, "x")
+        net.unregister(1)
+        sim.run()  # no exception; message dropped (process shut down)
+        assert inboxes[1] == []
+
+    def test_stats_count_sends_and_deliveries(self):
+        sim, net, _ = make_network()
+        net.broadcast(0, "x")
+        sim.run()
+        assert net.stats.messages_sent == 4
+        assert net.stats.messages_delivered == 4
+
+    def test_no_duplication_no_loss(self):
+        sim, net, inboxes = make_network()
+        for i in range(25):
+            net.send(0, 1, i)
+        sim.run()
+        assert [p for _, p, _ in inboxes[1]] == list(range(25))
+
+    def test_delivery_log_in_delivery_order(self):
+        sim, net, _ = make_network(SynchronousDelay(1.0))
+        net.send(0, 1, "a")
+        net.send(1, 2, "b")
+        sim.run()
+        assert [env.payload for env in net.delivery_log] == ["a", "b"]
+
+    def test_send_hook_sees_every_send(self):
+        sim, net, _ = make_network()
+        seen = []
+        net.add_send_hook(lambda env: seen.append(env.payload))
+        net.broadcast(0, "x")
+        assert len(seen) == 4
+
+
+class TestInterceptor:
+    def test_interceptor_can_delay_messages(self):
+        def delay_to_ten(envelope):
+            if envelope.dst == 1:
+                return 10.0
+            return None
+
+        sim, net, inboxes = make_network(
+            SynchronousDelay(1.0), interceptor=delay_to_ten
+        )
+        net.broadcast(0, "x")
+        sim.run()
+        assert inboxes[1][0][2] == 10.0
+        assert inboxes[2][0][2] == 1.0
+
+    def test_interceptor_cannot_drop_messages(self):
+        sim, net, _ = make_network(
+            SynchronousDelay(1.0), interceptor=lambda env: math.inf
+        )
+        with pytest.raises(ValueError):
+            net.send(0, 1, "x")
+
+    def test_interceptor_cannot_deliver_in_past(self):
+        sim, net, _ = make_network(
+            SynchronousDelay(1.0), interceptor=lambda env: -5.0
+        )
+        with pytest.raises(ValueError):
+            net.send(0, 1, "x")

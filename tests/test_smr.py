@@ -1,0 +1,183 @@
+"""Tests for the replicated state machine layer."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.crypto.keys import KeyRegistry
+from repro.sim.network import SynchronousDelay
+from repro.sim.runner import Cluster
+from repro.smr import (
+    AppendLog,
+    Counter,
+    KVStore,
+    NOOP,
+    SMRClient,
+    SMRReplica,
+    fbft_instance_factory,
+)
+
+
+def make_smr(n=4, f=1, t=1, state_machine_cls=KVStore, clients=1,
+             base_timeout=12.0):
+    config = ProtocolConfig(n=n, f=f, t=t)
+    registry = KeyRegistry.for_processes(range(n))
+    factory = fbft_instance_factory(config, registry, base_timeout=base_timeout)
+    replicas = [
+        SMRReplica(pid, n, f, state_machine_cls(), factory) for pid in range(n)
+    ]
+    client_procs = [
+        SMRClient(pid=n + i, replica_pids=range(n), f=f) for i in range(clients)
+    ]
+    cluster = Cluster(
+        replicas + client_procs, delay_model=SynchronousDelay(1.0)
+    )
+    return cluster, replicas, client_procs
+
+
+class TestStateMachines:
+    def test_kvstore_operations(self):
+        store = KVStore()
+        assert store.apply(("set", "k", 1)) == "OK"
+        assert store.apply(("get", "k")) == 1
+        assert store.apply(("del", "k")) == "OK"
+        assert store.apply(("get", "k")) is None
+        assert store.apply(NOOP) is None
+        with pytest.raises(ValueError):
+            store.apply(("bogus",))
+
+    def test_counter(self):
+        counter = Counter()
+        assert counter.apply(("inc",)) == 1
+        assert counter.apply(("inc", 5)) == 6
+        assert counter.apply(("dec", 2)) == 4
+        assert counter.apply(("read",)) == 4
+
+    def test_append_log_skips_noops(self):
+        log = AppendLog()
+        log.apply(("a",))
+        log.apply(NOOP)
+        log.apply(("b",))
+        assert log.entries == [("a",), ("b",)]
+
+
+class TestHappyPath:
+    def test_single_command(self):
+        cluster, replicas, (client,) = make_smr()
+        client.load_workload([("set", "x", 42)])
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=200)
+        assert client.outcomes[0].result == "OK"
+        assert all(r.decided_command(0) == ("set", "x", 42) for r in replicas)
+
+    def test_command_sequence_applied_in_order(self):
+        cluster, replicas, (client,) = make_smr(state_machine_cls=AppendLog)
+        workload = [("cmd", i) for i in range(6)]
+        client.load_workload(workload)
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=500)
+        for replica in replicas:
+            assert replica.state_machine.entries == workload
+
+    def test_logs_identical_across_replicas(self):
+        cluster, replicas, (client,) = make_smr()
+        client.load_workload([("set", k, k) for k in "abcde"])
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=500)
+        assert len({r.log for r in replicas}) == 1
+
+    def test_command_latency_is_four_delays(self):
+        """Request (1) + propose (1) + ack (1) + reply (1) = 4 delays."""
+        cluster, replicas, (client,) = make_smr()
+        client.load_workload([("set", "x", 1)])
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=200)
+        assert client.outcomes[0].latency == 4.0
+
+    def test_kv_reads_see_writes(self):
+        cluster, replicas, (client,) = make_smr()
+        client.load_workload([("set", "x", 7), ("get", "x")])
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=500)
+        assert client.outcomes[1].result == 7
+
+
+class TestFaultTolerance:
+    def test_leader_crash_failover(self):
+        cluster, replicas, (client,) = make_smr()
+        client.load_workload([("set", "x", 1), ("get", "x")])
+        replicas[0].crash()
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=2000)
+        assert client.outcomes[1].result == 1
+        live = replicas[1:]
+        assert len({r.log for r in live}) == 1
+
+    def test_non_leader_crash_no_slowdown(self):
+        cluster, replicas, (client,) = make_smr()
+        client.load_workload([("set", "x", 1)])
+        replicas[3].crash()
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=500)
+        assert client.outcomes[0].latency == 4.0
+
+    def test_mid_run_crash(self):
+        cluster, replicas, (client,) = make_smr()
+        client.load_workload([("set", k, 1) for k in "abcdef"])
+        cluster.start()
+        cluster.sim.schedule(6.0, replicas[0].crash)
+        cluster.sim.run_until(lambda: client.all_completed, timeout=3000)
+        live = replicas[1:]
+        assert len({r.log for r in live}) == 1
+        assert client.completed_count == 6
+
+    def test_decision_gossip_catches_up_lagging_replica(self):
+        cluster, replicas, (client,) = make_smr()
+        client.load_workload([("set", "x", 1)])
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=200)
+        # All replicas converge on the decided slot even though only
+        # n - f acks were strictly needed.
+        cluster.sim.run(until=cluster.sim.now + 10)
+        assert all(r.decided_command(0) is not None for r in replicas)
+
+
+class TestClientSemantics:
+    def test_duplicate_requests_execute_once(self):
+        cluster, replicas, (client,) = make_smr(state_machine_cls=Counter)
+        client.retry_timeout = 3.0  # aggressive retries force duplicates
+        client.load_workload([("inc",)])
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=500)
+        cluster.sim.run(until=cluster.sim.now + 50)
+        for replica in replicas:
+            assert replica.state_machine.value == 1
+
+    def test_two_clients_interleave_safely(self):
+        cluster, replicas, clients = make_smr(clients=2, state_machine_cls=Counter)
+        clients[0].load_workload([("inc",), ("inc",)])
+        clients[1].load_workload([("inc",), ("inc",)])
+        cluster.start()
+        cluster.sim.run_until(
+            lambda: all(c.all_completed for c in clients), timeout=2000
+        )
+        cluster.sim.run(until=cluster.sim.now + 20)
+        for replica in replicas:
+            assert replica.state_machine.value == 4
+        assert len({r.log for r in replicas}) == 1
+
+    def test_open_loop_submission(self):
+        cluster, replicas, (client,) = make_smr()
+        client.load_workload(
+            [("set", k, 1) for k in "abc"], closed_loop=False
+        )
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=2000)
+        assert client.completed_count == 3
+
+    def test_latencies_reported(self):
+        cluster, replicas, (client,) = make_smr()
+        client.load_workload([("set", "a", 1), ("set", "b", 2)])
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=500)
+        assert len(client.latencies()) == 2
+        assert all(l > 0 for l in client.latencies())

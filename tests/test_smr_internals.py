@@ -1,0 +1,167 @@
+"""Unit tests for SMR internals: slot contexts, gossip, retransmission."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.crypto.keys import KeyRegistry
+from repro.sim.network import SynchronousDelay
+from repro.sim.runner import Cluster
+from repro.smr import (
+    KVStore,
+    NOOP,
+    Reply,
+    Request,
+    SMRClient,
+    SMRReplica,
+    SlotDecided,
+    SlotMessage,
+    fbft_instance_factory,
+)
+
+
+def make_cluster(n=4, f=1):
+    config = ProtocolConfig(n=n, f=f, t=1)
+    registry = KeyRegistry.for_processes(range(n))
+    factory = fbft_instance_factory(config, registry)
+    replicas = [SMRReplica(pid, n, f, KVStore(), factory) for pid in range(n)]
+    client = SMRClient(pid=n, replica_pids=range(n), f=f)
+    cluster = Cluster(replicas + [client], delay_model=SynchronousDelay(1.0))
+    return cluster, replicas, client
+
+
+class TestSlotMultiplexing:
+    def test_slot_messages_are_scoped(self):
+        cluster, replicas, client = make_cluster()
+        client.load_workload([("set", "a", 1), ("set", "b", 2)])
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=500)
+        slots = {
+            env.payload.slot
+            for env in cluster.trace.sends
+            if isinstance(env.payload, SlotMessage)
+        }
+        assert slots == {0, 1}
+
+    def test_instances_created_lazily(self):
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        cluster.sim.run(until=5.0)
+        assert not replicas[0]._instances  # no requests yet
+
+    def test_slot_timers_do_not_collide(self):
+        """Two concurrent slots arm pacemaker timers under distinct names."""
+        cluster, replicas, client = make_cluster()
+        client.load_workload([("set", "a", 1)])
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=500)
+        replica = replicas[1]
+        instance = replica._instances[0]
+        # The slot's context prefixes timer names.
+        assert instance.ctx is not replica.ctx
+        assert instance.ctx.pid == replica.ctx.pid
+
+    def test_max_slots_guard(self):
+        config = ProtocolConfig(n=4, f=1, t=1)
+        registry = KeyRegistry.for_processes(range(4))
+        factory = fbft_instance_factory(config, registry)
+        replica = SMRReplica(0, 4, 1, KVStore(), factory, max_slots=1)
+        cluster = Cluster(
+            [replica]
+            + [
+                SMRReplica(pid, 4, 1, KVStore(), factory, max_slots=1)
+                for pid in range(1, 4)
+            ],
+            delay_model=SynchronousDelay(1.0),
+        )
+        cluster.start()
+        replica._decided[0] = NOOP
+        replica._pending.append(
+            Request(client=9, request_id=0, command=("set", "x", 1))
+        )
+        with pytest.raises(RuntimeError, match="max_slots"):
+            replica._maybe_start_next_slot()
+
+
+class TestDecisionGossip:
+    def test_f_plus_1_matching_gossip_adopted(self):
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[3]
+        replica._handle_slot_decided(0, SlotDecided(slot=0, value=("set", "x", 1)))
+        assert replica.decided_command(0) is None  # one voice is not enough
+        replica._handle_slot_decided(1, SlotDecided(slot=0, value=("set", "x", 1)))
+        assert replica.decided_command(0) == ("set", "x", 1)  # f + 1 = 2
+
+    def test_conflicting_gossip_does_not_mix(self):
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[3]
+        replica._handle_slot_decided(0, SlotDecided(slot=0, value=("a",)))
+        replica._handle_slot_decided(1, SlotDecided(slot=0, value=("b",)))
+        assert replica.decided_command(0) is None
+
+    def test_duplicate_gossip_sender_counts_once(self):
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[3]
+        for _ in range(5):
+            replica._handle_slot_decided(0, SlotDecided(slot=0, value=("a",)))
+        assert replica.decided_command(0) is None
+
+    def test_gossip_after_local_decision_is_noop(self):
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[3]
+        replica._adopt_decision(0, ("set", "a", 1))
+        replica._handle_slot_decided(0, SlotDecided(slot=0, value=("set", "b", 2)))
+        replica._handle_slot_decided(1, SlotDecided(slot=0, value=("set", "b", 2)))
+        assert replica.decided_command(0) == ("set", "a", 1)
+
+
+class TestExecution:
+    def test_execution_strictly_in_slot_order(self):
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[2]
+        # Decide slot 1 before slot 0: nothing executes until 0 arrives.
+        replica._adopt_decision(1, NOOP)
+        assert replica.executed_upto == -1
+        replica._adopt_decision(0, NOOP)
+        assert replica.executed_upto == 1
+
+    def test_noop_slots_execute_silently(self):
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[2]
+        replica._adopt_decision(0, NOOP)
+        assert replica.executed_upto == 0
+        assert replica.state_machine.applied_count == 0
+
+    def test_retransmitted_request_gets_cached_reply(self):
+        cluster, replicas, client = make_cluster()
+        client.load_workload([("set", "a", 1)])
+        cluster.start()
+        cluster.sim.run_until(lambda: client.all_completed, timeout=500)
+        replies_before = sum(
+            1 for env in cluster.trace.sends if isinstance(env.payload, Reply)
+        )
+        # Client retransmits the same request after completion.
+        request = Request(client=4, request_id=0, command=("set", "a", 1))
+        for replica in replicas:
+            replica._handle_request(request)
+        cluster.sim.run(until=cluster.sim.now + 5)
+        replies_after = sum(
+            1 for env in cluster.trace.sends if isinstance(env.payload, Reply)
+        )
+        assert replies_after > replies_before  # re-replied from cache
+
+    def test_log_property_sorted(self):
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[2]
+        replica._adopt_decision(1, ("set", "b", 2))
+        replica._adopt_decision(0, ("set", "a", 1))
+        assert replica.log == (
+            (0, ("set", "a", 1)),
+            (1, ("set", "b", 2)),
+        )

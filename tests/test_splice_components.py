@@ -1,0 +1,168 @@
+"""Unit tests for the splice attack's building blocks."""
+
+import pytest
+
+from repro.byzantine.splice import SpliceCompanion, SpliceViewTwoLeader
+from repro.core.messages import CertRequest, Propose
+
+from helpers import (
+    make_config,
+    make_registry,
+    make_signed_vote,
+    make_vote_record,
+    make_vote_set,
+)
+
+
+class TestCraftAdmittingSet:
+    """The subset search at the heart of the executable Theorem 4.5."""
+
+    def _votes(self, config, registry, x_count, y_count, nil_voters=()):
+        assignments = {}
+        pid = 2  # 0 = equivocator, 1 = attack leader
+        for _ in range(x_count):
+            assignments[pid] = "x"
+            pid += 1
+        for _ in range(y_count):
+            assignments[pid] = "y"
+            pid += 1
+        votes = make_vote_set(registry, config, 2, assignments)
+        for voter in nil_voters:
+            votes[voter] = make_signed_vote(registry, config, voter, None, 2)
+        return votes
+
+    def test_succeeds_below_bound(self):
+        config = make_config(n=8, f=2, allow_sub_resilient=True)
+        registry = make_registry(config)
+        votes = self._votes(config, registry, x_count=4, y_count=2,
+                            nil_voters=[1])
+        crafted = SpliceViewTwoLeader.craft_admitting_set(
+            votes, "y", equivocator=0, config=config
+        )
+        assert crafted is not None
+        assert len(crafted) == config.vote_quorum == 6
+        # The crafted set prefers nil/y votes and pads with x votes.
+        x_votes = sum(
+            1 for sv in crafted if sv.vote is not None and sv.vote.value == "x"
+        )
+        assert x_votes < config.equivocation_vote_threshold
+
+    def test_fails_at_bound(self):
+        config = make_config(n=9, f=2)
+        registry = make_registry(config)
+        votes = self._votes(config, registry, x_count=5, y_count=2,
+                            nil_voters=[1])
+        crafted = SpliceViewTwoLeader.craft_admitting_set(
+            votes, "y", equivocator=0, config=config
+        )
+        assert crafted is None
+
+    def test_never_includes_equivocator_when_excluding(self):
+        config = make_config(n=8, f=2, allow_sub_resilient=True)
+        registry = make_registry(config)
+        votes = self._votes(config, registry, x_count=4, y_count=2,
+                            nil_voters=[1])
+        vote = make_vote_record(registry, config, "x", 1)
+        votes[0] = make_signed_vote(registry, config, 0, vote, 2)
+        crafted = SpliceViewTwoLeader.craft_admitting_set(
+            votes, "y", equivocator=0, config=config
+        )
+        assert crafted is not None
+        assert all(sv.voter != 0 for sv in crafted)
+
+    def test_uses_equivocator_vote_in_ablated_mode(self):
+        """Without exclusion, the equivocator's lying nil vote becomes
+        usable filler — this is how the E11 attack wins at the bound."""
+        config = make_config(n=9, f=2)
+        registry = make_registry(config)
+        votes = self._votes(config, registry, x_count=5, y_count=2)
+        votes[0] = make_signed_vote(registry, config, 0, None, 2)
+        votes[1] = make_signed_vote(registry, config, 1, None, 2)
+        crafted_sound = SpliceViewTwoLeader.craft_admitting_set(
+            votes, "y", equivocator=0, config=config, exclude_equivocator=True
+        )
+        crafted_ablated = SpliceViewTwoLeader.craft_admitting_set(
+            votes, "y", equivocator=0, config=config, exclude_equivocator=False
+        )
+        assert crafted_sound is None
+        assert crafted_ablated is not None
+        assert any(sv.voter == 0 for sv in crafted_ablated)
+
+    def test_returns_none_with_too_few_votes(self):
+        config = make_config(n=9, f=2)
+        registry = make_registry(config)
+        votes = self._votes(config, registry, x_count=2, y_count=1)
+        assert (
+            SpliceViewTwoLeader.craft_admitting_set(votes, "y", 0, config)
+            is None
+        )
+
+
+class TestSpliceRolesInIsolation:
+    def test_companion_acks_only_x_group(self):
+        from repro.core.messages import Ack
+        from repro.sim.network import SynchronousDelay
+        from repro.sim.process import Process
+        from repro.sim.runner import Cluster
+
+        config = make_config(n=9, f=2)
+        registry = make_registry(config)
+
+        class Sink(Process):
+            def __init__(self, pid):
+                super().__init__(pid)
+                self.acks = []
+
+            def on_message(self, sender, payload):
+                if isinstance(payload, Ack):
+                    self.acks.append((sender, payload))
+
+        sinks = [Sink(pid) for pid in range(2, 9)]
+        companion = SpliceCompanion(
+            pid=1, registry=registry, config=config, x_value="x",
+            x_group=(2, 3), leader_pid=1, ack_time=1.0, vote_time=2.0,
+            wish_time=3.0,
+        )
+        cluster = Cluster(
+            [companion] + sinks, delay_model=SynchronousDelay(1.0)
+        )
+        cluster.run(until=10.0)
+        assert sinks[0].acks and sinks[1].acks  # pids 2, 3
+        assert not sinks[2].acks  # pid 4 not in x_group
+
+    def test_leader_stays_silent_without_admitting_subset(self):
+        from repro.sim.network import SynchronousDelay
+        from repro.sim.runner import Cluster
+        from repro.sim.process import Process
+
+        config = make_config(n=9, f=2)
+        registry = make_registry(config)
+        leader = SpliceViewTwoLeader(
+            pid=1, registry=registry, config=config, x_value="x", y_value="y",
+            x_group=(2, 3, 4, 5, 6), equivocator=0, ack_time=1.0,
+            wish_time=2.0,
+        )
+
+        class Sink(Process):
+            def __init__(self, pid):
+                super().__init__(pid)
+                self.certreqs = []
+
+            def on_message(self, sender, payload):
+                if isinstance(payload, CertRequest):
+                    self.certreqs.append(payload)
+
+        sinks = [Sink(pid) for pid in [0] + list(range(2, 9))]
+        cluster = Cluster([leader] + sinks, delay_model=SynchronousDelay(1.0))
+        cluster.start()
+        # Feed it genuine votes that pin x (5 x votes, 2 y votes).
+        from repro.core.messages import Vote
+
+        votes = make_vote_set(
+            registry, config, 2,
+            {2: "x", 3: "x", 4: "x", 5: "x", 6: "x", 7: "y", 8: "y"},
+        )
+        for pid, sv in votes.items():
+            leader._dispatch(pid, Vote(signed=sv))
+        cluster.sim.run(until=20.0)
+        assert all(not sink.certreqs for sink in sinks)
