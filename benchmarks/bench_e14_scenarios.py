@@ -1,0 +1,40 @@
+"""E14 — Scenario engine: the canonical library and the fuzzer as benchmarks.
+
+Two questions: (1) what does each canonical fault mix cost the protocol
+(latency in message delays, messages, bytes on the wire), and (2) how
+many randomized scenarios per second can the engine chew through — the
+number that bounds how hard CI can fuzz on every push.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_scenario_results
+from repro.scenarios import SCENARIOS, run_fuzz, run_scenario
+
+
+def run_library():
+    return [run_scenario(spec) for spec in SCENARIOS.values()]
+
+
+def test_e14_canonical_library(benchmark):
+    results = benchmark(run_library)
+    emit(
+        "E14: the canonical scenario library (all oracles must pass)",
+        format_scenario_results(results),
+    )
+    for result in results:
+        assert result.ok, f"{result.spec.name}: {result.failures}"
+    by_name = {result.spec.name: result for result in results}
+    # The library pins the headline latency claims.
+    assert by_name["fast-path-clean"].steps == 2
+    assert by_name["crash-quorum-edge"].steps == 2
+    assert by_name["pbft-clean"].steps == 3
+    assert by_name["fab-fast-path"].steps == 2
+    assert by_name["slow-path-commit"].steps == 3
+
+
+def test_e14_fuzz_throughput(benchmark):
+    report = benchmark(lambda: run_fuzz(seeds=20, shrink=False))
+    emit("E14: fuzz campaign", report.summary())
+    assert report.ok, report.summary()
+    assert report.seeds_run == 20

@@ -2,7 +2,7 @@
 
 from .comparison import PROTOCOLS, ProtocolSpec, build_protocol
 from .metrics import CommonCaseResult, Stats, repeat_latency, run_common_case
-from .report import format_markdown_table, format_table
+from .report import format_markdown_table, format_scenario_results, format_table
 
 __all__ = [
     "CommonCaseResult",
@@ -11,6 +11,7 @@ __all__ = [
     "Stats",
     "build_protocol",
     "format_markdown_table",
+    "format_scenario_results",
     "format_table",
     "repeat_latency",
     "run_common_case",

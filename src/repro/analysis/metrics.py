@@ -57,6 +57,9 @@ class CommonCaseResult:
     delays: Optional[int]
     messages: int
     messages_by_type: Dict[str, int]
+    #: Estimated bytes put on the wire up to the decision (see
+    #: :func:`repro.sim.network.payload_size`).
+    bytes_sent: int = 0
 
 
 def run_common_case(
@@ -78,6 +81,8 @@ def run_common_case(
     if result.decided and isinstance(model, RoundSynchronousDelay):
         delays = message_delays(result.decision_time, delta)
     # Count only messages sent up to the decision (pacemakers keep running).
+    from ..sim.network import payload_size
+
     if result.decided:
         messages = sum(
             1
@@ -87,11 +92,13 @@ def run_common_case(
     else:
         messages = cluster.trace.message_count()
     by_type: Dict[str, int] = {}
+    bytes_sent = 0
     for env in cluster.trace.sends:
         if result.decided and env.send_time > result.decision_time + 1e-9:
             continue
         name = type(env.payload).__name__
         by_type[name] = by_type.get(name, 0) + 1
+        bytes_sent += payload_size(env.payload)
     return CommonCaseResult(
         decided=result.decided,
         value=result.decision_value,
@@ -99,6 +106,7 @@ def run_common_case(
         delays=delays,
         messages=messages,
         messages_by_type=by_type,
+        bytes_sent=bytes_sent,
     )
 
 

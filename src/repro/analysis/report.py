@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, List, Sequence
 
-__all__ = ["format_table", "format_markdown_table"]
+__all__ = ["format_table", "format_markdown_table", "format_scenario_results"]
 
 
 def _stringify(cell: Any) -> str:
@@ -38,3 +38,27 @@ def format_markdown_table(
     for row in rows:
         out.append("| " + " | ".join(_stringify(c) for c in row) + " |")
     return "\n".join(out)
+
+
+def format_scenario_results(results: Sequence[Any]) -> str:
+    """Summary table for a batch of scenario runs.
+
+    Accepts :class:`~repro.scenarios.runner.ScenarioResult` objects (typed
+    loosely to keep this module dependency-free).
+    """
+    rows = []
+    for result in results:
+        spec = result.spec
+        rows.append([
+            spec.name,
+            spec.protocol,
+            "OK" if result.ok else "FAIL",
+            result.steps if result.steps is not None else "-",
+            result.messages_sent,
+            result.bytes_sent,
+            ";".join(v.name for v in result.failures) or "-",
+        ])
+    return format_table(
+        ["scenario", "protocol", "verdict", "steps", "msgs", "bytes", "failed oracles"],
+        rows,
+    )

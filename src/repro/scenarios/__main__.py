@@ -1,0 +1,139 @@
+"""CLI for the scenario engine.
+
+Usage::
+
+    python -m repro.scenarios list
+    python -m repro.scenarios run fast-path-clean
+    python -m repro.scenarios run --all [--json]
+    python -m repro.scenarios fuzz --seeds 25 [--start 0] [--protocols fbft,pbft]
+
+Exit status is 0 when every invariant oracle passed, 1 otherwise — so the
+commands double as CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from ..analysis.report import format_scenario_results, format_table
+from .fuzz import DEFAULT_FUZZ_PROTOCOLS, run_fuzz
+from .library import SCENARIOS, get_scenario
+from .runner import run_scenario
+from .spec import ScenarioError
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.name,
+            spec.protocol,
+            f"{spec.n}/{spec.f}" + (f"/{spec.t}" if spec.t is not None else ""),
+            spec.delay.kind,
+            len(spec.faults) + len(spec.byzantine),
+            spec.description.split(":")[0][:58],
+        ]
+        for spec in SCENARIOS.values()
+    ]
+    print(format_table(
+        ["scenario", "protocol", "n/f[/t]", "delay", "faults", "description"], rows
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names: List[str] = list(SCENARIOS) if args.all else args.names
+    if not names:
+        print("run: give scenario names or --all (see 'list')", file=sys.stderr)
+        return 2
+    exit_code = 0
+    payloads = []
+    results = []
+    for name in names:
+        result = run_scenario(get_scenario(name))
+        results.append(result)
+        if args.json:
+            payloads.append(result.to_dict())
+        else:
+            print(result.summary())
+            print()
+        if not result.ok:
+            exit_code = 1
+    if args.json:
+        print(json.dumps(payloads if args.all or len(names) > 1 else payloads[0],
+                         indent=2))
+    elif len(results) > 1:
+        print(format_scenario_results(results))
+    return exit_code
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    protocols = tuple(args.protocols.split(",")) if args.protocols else DEFAULT_FUZZ_PROTOCOLS
+    def progress(seed: int, result) -> None:
+        if not args.quiet:
+            status = "ok" if result.ok else "FAIL"
+            print(
+                f"seed {seed:>4} [{result.spec.protocol:>5}] "
+                f"n={result.spec.n} f={result.spec.f} -> {status}"
+            )
+    report = run_fuzz(
+        seeds=args.seeds,
+        start=args.start,
+        protocols=protocols,
+        shrink=not args.no_shrink,
+        on_progress=progress,
+    )
+    if args.json:
+        print(json.dumps({
+            "seeds_run": report.seeds_run,
+            "by_protocol": report.by_protocol,
+            "failures": [failure.to_dict() for failure in report.failures],
+        }, indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run declarative fault/workload scenarios with invariant oracles.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the canonical scenario library")
+
+    run_parser = sub.add_parser("run", help="run named scenarios (or --all)")
+    run_parser.add_argument("names", nargs="*", help="scenario names")
+    run_parser.add_argument("--all", action="store_true", help="run the whole library")
+    run_parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+    fuzz_parser = sub.add_parser("fuzz", help="run the seeded scenario fuzzer")
+    fuzz_parser.add_argument("--seeds", type=int, default=25, help="number of seeds")
+    fuzz_parser.add_argument("--start", type=int, default=0, help="first seed")
+    fuzz_parser.add_argument(
+        "--protocols", default="",
+        help=f"comma-separated protocol keys (default {','.join(DEFAULT_FUZZ_PROTOCOLS)})",
+    )
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="skip shrinking failing seeds")
+    fuzz_parser.add_argument("--quiet", action="store_true",
+                             help="no per-seed progress lines")
+    fuzz_parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_fuzz(args)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""Invariant oracles: what must hold of a finished scenario run.
+
+Oracles are evaluated *post hoc* from the recorded trace, so they are
+protocol-independent wherever possible and delegate to the adapter where
+they are not (certificate audits).  Each returns an
+:class:`InvariantVerdict` with ``passed`` being ``True``, ``False`` or
+``None`` (not applicable to this spec/protocol) — a scenario "passes"
+when no oracle returns ``False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..sim.runner import Cluster
+from ..sim.trace import message_delays
+from .adapters import BuiltScenario
+from .spec import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runner import ScenarioResult
+
+__all__ = ["InvariantVerdict", "decisions_of", "evaluate_invariants"]
+
+
+@dataclass(frozen=True)
+class InvariantVerdict:
+    """One oracle's judgement of one run."""
+
+    name: str
+    passed: Optional[bool]  # None = not applicable
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.passed is False
+
+    def __str__(self) -> str:
+        status = {True: "PASS", False: "FAIL", None: "n/a "}[self.passed]
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{status}] {self.name}{suffix}"
+
+
+def decisions_of(cluster: Cluster, pids) -> Dict[int, Any]:
+    """The recorded decision values of ``pids`` (absent pids undecided)."""
+    return {
+        pid: decision.value
+        for pid in pids
+        if (decision := cluster.trace.decision_of(pid)) is not None
+    }
+
+
+# ----------------------------------------------------------------------
+# The oracles
+# ----------------------------------------------------------------------
+
+
+def check_agreement(
+    spec: ScenarioSpec,
+    built: BuiltScenario,
+    cluster: Cluster,
+    safety_violation: Optional[str],
+) -> InvariantVerdict:
+    """No two honest processes decide differently (ever, in any view)."""
+    if safety_violation is not None:
+        return InvariantVerdict("agreement", False, safety_violation)
+    if built.mode == "smr":
+        return _check_smr_log_agreement(built)
+    decided = decisions_of(cluster, built.honest_pids)
+    values = set(decided.values())
+    if len(values) > 1:
+        return InvariantVerdict(
+            "agreement", False, f"honest processes decided {decided!r}"
+        )
+    return InvariantVerdict(
+        "agreement", True, f"{len(decided)} honest decisions, all equal"
+    )
+
+
+def _check_smr_log_agreement(built: BuiltScenario) -> InvariantVerdict:
+    """Honest replicas never decide different commands for the same slot."""
+    by_slot: Dict[int, Dict[Any, List[int]]] = {}
+    for replica in built.replicas:
+        for slot, command in replica.log:
+            by_slot.setdefault(slot, {}).setdefault(command, []).append(replica.pid)
+    conflicts = {
+        slot: commands for slot, commands in by_slot.items() if len(commands) > 1
+    }
+    if conflicts:
+        return InvariantVerdict(
+            "agreement", False, f"conflicting slot decisions: {conflicts!r}"
+        )
+    return InvariantVerdict(
+        "agreement", True, f"{len(by_slot)} slots consistent across replicas"
+    )
+
+
+def check_validity(
+    spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster
+) -> InvariantVerdict:
+    """Decided values come from the set the adversary could legitimately
+    put in play (honest inputs plus declared Byzantine proposals)."""
+    if built.allowed_values is None:
+        return InvariantVerdict("validity", None, "no allowed-value set declared")
+    if built.mode == "smr":
+        from ..smr.kvstore import NOOP
+
+        allowed = set(built.allowed_values) | {NOOP}
+        executed = {
+            command
+            for replica in built.replicas
+            for _slot, command in replica.log
+        }
+        rogue = executed - allowed
+        if rogue:
+            return InvariantVerdict(
+                "validity", False, f"executed commands nobody submitted: {rogue!r}"
+            )
+        return InvariantVerdict(
+            "validity", True, f"{len(executed)} distinct commands, all submitted"
+        )
+    decided = decisions_of(cluster, built.honest_pids)
+    rogue = set(decided.values()) - set(built.allowed_values)
+    if rogue:
+        return InvariantVerdict(
+            "validity", False, f"decided values outside input set: {rogue!r}"
+        )
+    return InvariantVerdict("validity", True, "decisions drawn from the input set")
+
+
+def check_certificates(
+    spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster
+) -> InvariantVerdict:
+    """Adapter-specific audit of transferable artifacts in the trace."""
+    errors = built.adapter.certificate_errors(built, cluster.trace.sends)
+    if errors is None:
+        return InvariantVerdict(
+            "certificates", None, "protocol has no transferable certificates"
+        )
+    if errors:
+        return InvariantVerdict("certificates", False, "; ".join(errors[:3]))
+    return InvariantVerdict("certificates", True, "all traced certificates valid")
+
+
+def check_fast_path(
+    spec: ScenarioSpec,
+    built: BuiltScenario,
+    cluster: Cluster,
+    decided: bool,
+    decision_time: Optional[float],
+) -> InvariantVerdict:
+    """When the spec claims the common case, the decision must land within
+    the family's claimed number of message delays."""
+    if not spec.expect_fast_path:
+        return InvariantVerdict("fast-path-steps", None, "not expected by spec")
+    if not spec.delay.counts_steps:
+        return InvariantVerdict(
+            "fast-path-steps", None, f"delay kind {spec.delay.kind!r} has no step metric"
+        )
+    if not decided or decision_time is None:
+        return InvariantVerdict("fast-path-steps", False, "no decision to measure")
+    steps = message_delays(decision_time, spec.delay.delta)
+    claimed = built.adapter.claimed_fast_delays
+    if steps > claimed:
+        return InvariantVerdict(
+            "fast-path-steps", False,
+            f"decision took {steps} message delays, claimed {claimed}",
+        )
+    return InvariantVerdict(
+        "fast-path-steps", True, f"{steps} message delays <= claimed {claimed}"
+    )
+
+
+def check_liveness(
+    spec: ScenarioSpec,
+    built: BuiltScenario,
+    cluster: Cluster,
+    decided: bool,
+    decision_time: Optional[float],
+    safety_violation: Optional[str] = None,
+) -> InvariantVerdict:
+    """After GST (and after every scheduled fault has settled), every
+    correct, never-crashed process must decide within the time budget."""
+    if not spec.expect_decision:
+        return InvariantVerdict("liveness-after-gst", None, "not expected by spec")
+    if safety_violation is not None:
+        return InvariantVerdict(
+            "liveness-after-gst", None, "run aborted by a safety violation"
+        )
+    if built.mode == "smr":
+        crashed = set(spec.crashed_forever_pids)
+        live_clients = [c for c in built.clients if c.pid not in crashed]
+        incomplete = [c.pid for c in live_clients if not c.all_completed]
+        if incomplete:
+            return InvariantVerdict(
+                "liveness-after-gst", False,
+                f"clients {incomplete} did not complete within {spec.timeout}",
+            )
+        return InvariantVerdict(
+            "liveness-after-gst", True,
+            f"all {len(live_clients)} live clients completed",
+        )
+    if not decided:
+        missing = [
+            pid
+            for pid in built.live_pids
+            if cluster.trace.decision_of(pid) is None
+        ]
+        return InvariantVerdict(
+            "liveness-after-gst", False,
+            f"pids {missing} undecided at timeout {spec.timeout}",
+        )
+    deadline = spec.liveness_deadline
+    if deadline is not None and decision_time is not None and decision_time > deadline:
+        return InvariantVerdict(
+            "liveness-after-gst", False,
+            f"decided at {decision_time}, after the deadline {deadline}",
+        )
+    detail = f"all live pids decided by {decision_time}"
+    if deadline is not None:
+        detail += f" (deadline {deadline})"
+    return InvariantVerdict("liveness-after-gst", True, detail)
+
+
+def evaluate_invariants(
+    spec: ScenarioSpec,
+    built: BuiltScenario,
+    cluster: Cluster,
+    decided: bool,
+    decision_time: Optional[float],
+    safety_violation: Optional[str],
+) -> Tuple[InvariantVerdict, ...]:
+    """Run every oracle; order is stable (agreement first)."""
+    return (
+        check_agreement(spec, built, cluster, safety_violation),
+        check_validity(spec, built, cluster),
+        check_certificates(spec, built, cluster),
+        check_fast_path(spec, built, cluster, decided, decision_time),
+        check_liveness(spec, built, cluster, decided, decision_time, safety_violation),
+    )

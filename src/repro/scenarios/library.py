@@ -1,0 +1,229 @@
+"""The canonical scenario library.
+
+Each entry is a named, self-contained :class:`ScenarioSpec` exercising one
+of the paper's claims (or a baseline's behaviour) under a specific fault
+mix.  Run them via ``python -m repro.scenarios run <name>`` or from tests
+through :func:`get_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .spec import (
+    ByzantineRole,
+    Crash,
+    DelayRuleOff,
+    DelayRuleOn,
+    DelaySpec,
+    PartitionHeal,
+    PartitionStart,
+    ScenarioError,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+__all__ = ["SCENARIOS", "get_scenario"]
+
+
+def _specs() -> Dict[str, ScenarioSpec]:
+    scenarios = [
+        ScenarioSpec(
+            name="fast-path-clean",
+            protocol="fbft",
+            n=4, f=1,
+            delay=DelaySpec(kind="round"),
+            expect_fast_path=True,
+            liveness_deadline=2.5,
+            timeout=50.0,
+            description="The paper's headline: n = 5f - 1 = 4 processes, "
+                        "no faults, decision after exactly 2 message delays.",
+        ),
+        ScenarioSpec(
+            name="fast-path-generalized",
+            protocol="fbft",
+            n=7, f=2, t=1,
+            delay=DelaySpec(kind="round"),
+            byzantine=(ByzantineRole(pid=6, behavior="silent"),),
+            expect_fast_path=True,
+            timeout=100.0,
+            description="Generalized protocol (t = 1 < f = 2): one silent "
+                        "fault is within t, so the 2-step fast path survives.",
+        ),
+        ScenarioSpec(
+            name="slow-path-commit",
+            protocol="fbft",
+            n=7, f=2, t=1,
+            delay=DelaySpec(kind="round"),
+            byzantine=(
+                ByzantineRole(pid=5, behavior="silent"),
+                ByzantineRole(pid=6, behavior="silent"),
+            ),
+            timeout=200.0,
+            description="t < actual faults <= f: the fast quorum n - t is out "
+                        "of reach, the Appendix-A slow path decides in 3 delays.",
+        ),
+        ScenarioSpec(
+            name="equivocating-leader",
+            protocol="fbft",
+            n=4, f=1,
+            byzantine=(
+                ByzantineRole(
+                    pid=0, behavior="equivocate", view=1,
+                    values=("x", "y"), minority=(3,),
+                ),
+            ),
+            timeout=400.0,
+            description="The misbehaviour at the heart of the paper: the "
+                        "view-1 leader shows x to {1,2} and y to {3}; the view "
+                        "change must recover the possibly-decided x.",
+        ),
+        ScenarioSpec(
+            name="silent-leader",
+            protocol="fbft",
+            n=4, f=1,
+            byzantine=(ByzantineRole(pid=0, behavior="silent"),),
+            timeout=400.0,
+            description="The first leader never speaks; the pacemaker elects "
+                        "view 2 and consensus completes there.",
+        ),
+        ScenarioSpec(
+            name="pre-gst-chaos",
+            protocol="fbft",
+            n=4, f=1,
+            delay=DelaySpec(kind="partial", gst=40.0, pre_gst_max=25.0, seed=7),
+            timeout=2000.0,
+            description="Partial synchrony: adversarial (bounded) delays "
+                        "before GST = 40, the synchrony bound after; liveness "
+                        "must resume once GST passes.",
+        ),
+        ScenarioSpec(
+            name="partition-heal",
+            protocol="fbft",
+            n=4, f=1,
+            faults=(
+                PartitionStart(at=0.0, groups=((0, 1), (2, 3))),
+                PartitionHeal(at=50.0),
+            ),
+            timeout=2000.0,
+            description="A clean split 2|2 from time 0: no quorum on either "
+                        "side, so no decision; healing at t = 50 releases held "
+                        "messages and agreement follows.",
+        ),
+        ScenarioSpec(
+            name="cascading-view-change",
+            protocol="fbft",
+            n=9, f=2,
+            faults=(Crash(at=0.0, pid=0), Crash(at=0.0, pid=1)),
+            timeout=2000.0,
+            description="The leaders of views 1 and 2 are both crashed from "
+                        "the start; the pacemaker walks to view 3, whose "
+                        "leader completes the two-phase certificate dance.",
+        ),
+        ScenarioSpec(
+            name="crash-quorum-edge",
+            protocol="fbft",
+            n=9, f=2,
+            delay=DelaySpec(kind="round"),
+            faults=(Crash(at=0.0, pid=7), Crash(at=0.0, pid=8)),
+            expect_fast_path=True,
+            timeout=200.0,
+            description="Exactly f = 2 crash faults: the surviving n - f = 7 "
+                        "processes are precisely a fast quorum, so the 2-step "
+                        "path still lands — the edge the bound is about.",
+        ),
+        ScenarioSpec(
+            name="targeted-vote-delay",
+            protocol="fbft",
+            n=4, f=1,
+            byzantine=(ByzantineRole(pid=0, behavior="silent"),),
+            faults=(
+                DelayRuleOn(
+                    at=0.0, name="stall-votes", extra_delay=6.0,
+                    payload_types=("Vote",),
+                ),
+                DelayRuleOff(at=60.0, name="stall-votes"),
+            ),
+            timeout=600.0,
+            description="View-change Vote messages are stalled by a delay "
+                        "rule while the rule is active; progress resumes once "
+                        "it is lifted (indy-plenum delay_rules idiom).",
+        ),
+        ScenarioSpec(
+            name="pbft-clean",
+            protocol="pbft",
+            n=4, f=1,
+            delay=DelaySpec(kind="round"),
+            expect_fast_path=True,  # "fast" = PBFT's claimed 3 delays
+            timeout=50.0,
+            description="PBFT baseline common case: 3 message delays at "
+                        "n = 3f + 1 — the latency comparison point.",
+        ),
+        ScenarioSpec(
+            name="pbft-crash-leader",
+            protocol="pbft",
+            n=4, f=1,
+            faults=(Crash(at=0.5, pid=0),),
+            timeout=600.0,
+            description="PBFT's primary crashes right after pre-prepare; "
+                        "replicas finish the instance (or view-change) anyway.",
+        ),
+        ScenarioSpec(
+            name="fab-fast-path",
+            protocol="fab",
+            n=6, f=1, t=1,
+            delay=DelaySpec(kind="round"),
+            expect_fast_path=True,
+            timeout=50.0,
+            description="FaB Paxos baseline: 2 delays but n = 3f + 2t + 1 = 6 "
+                        "processes — two more than this paper needs.",
+        ),
+        ScenarioSpec(
+            name="paxos-partition",
+            protocol="paxos",
+            n=3, f=1,
+            faults=(
+                PartitionStart(at=0.0, groups=((0,), (1, 2))),
+                PartitionHeal(at=30.0),
+            ),
+            timeout=600.0,
+            description="Crash Paxos with the proposer cut off from the "
+                        "majority; healing restores the 2-step path.",
+        ),
+        ScenarioSpec(
+            name="optimistic-fallback",
+            protocol="optimistic",
+            n=4, f=1,
+            byzantine=(ByzantineRole(pid=3, behavior="silent"),),
+            timeout=400.0,
+            description="Kursawe-style optimistic consensus needs unanimity "
+                        "for 2 steps; one silent process forces the fallback.",
+        ),
+        ScenarioSpec(
+            name="smr-open-loop",
+            protocol="fbft-smr",
+            n=4, f=1, t=1,
+            workload=WorkloadSpec(
+                clients=2, requests_per_client=4, rate=3.0, batch_size=2,
+                key_space=4, hot_fraction=0.5, seed=11,
+            ),
+            timeout=3000.0,
+            description="The full SMR stack: 2 open-loop clients submit "
+                        "batched, skewed KV traffic; every request must "
+                        "complete and replica logs must agree slot by slot.",
+        ),
+    ]
+    return {spec.name: spec for spec in scenarios}
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = _specs()
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a canonical scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        ) from None

@@ -1,0 +1,222 @@
+"""Materialize a :class:`ScenarioSpec` and run it to a structured result.
+
+The runner is deliberately small: the adapter builds the processes, the
+spec builds the delay model, the fault schedule becomes simulator events,
+and the oracles judge the trace afterwards.  Nothing here knows protocol
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..sim.events import SimulationTimeout
+from ..sim.network import DelayRule
+from ..sim.runner import Cluster
+from ..sim.trace import ConsistencyViolation, message_delays
+from .adapters import ADAPTERS, BuiltScenario
+from .invariants import InvariantVerdict, decisions_of, evaluate_invariants
+from .spec import (
+    Crash,
+    DelayRuleOff,
+    DelayRuleOn,
+    PartitionHeal,
+    PartitionStart,
+    Recover,
+    ScenarioError,
+    ScenarioSpec,
+)
+
+__all__ = ["ScenarioResult", "run_scenario"]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a finished run produced, ready for reporting."""
+
+    spec: ScenarioSpec
+    decided: bool
+    decision_value: Any
+    decision_time: Optional[float]
+    #: Decision latency in message delays (round/synchronous models only).
+    steps: Optional[int]
+    per_pid_decisions: Dict[int, Any]
+    messages_sent: int
+    messages_delivered: int
+    bytes_sent: int
+    messages_by_type: Dict[str, int]
+    events_processed: int
+    safety_violation: Optional[str]
+    verdicts: Tuple[InvariantVerdict, ...] = ()
+    #: SMR extras (zero in consensus mode).
+    completed_requests: int = 0
+    total_requests: int = 0
+    applied_slots: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """No oracle failed (n/a oracles do not count against the run)."""
+        return not any(v.failed for v in self.verdicts)
+
+    @property
+    def failures(self) -> Tuple[InvariantVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.failed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.spec.name,
+            "protocol": self.spec.protocol,
+            "n": self.spec.n,
+            "f": self.spec.f,
+            "ok": self.ok,
+            "decided": self.decided,
+            "decision_value": repr(self.decision_value),
+            "decision_time": self.decision_time,
+            "steps": self.steps,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "bytes_sent": self.bytes_sent,
+            "messages_by_type": dict(sorted(self.messages_by_type.items())),
+            "events_processed": self.events_processed,
+            "safety_violation": self.safety_violation,
+            "completed_requests": self.completed_requests,
+            "total_requests": self.total_requests,
+            "invariants": [
+                {"name": v.name, "passed": v.passed, "detail": v.detail}
+                for v in self.verdicts
+            ],
+        }
+
+    def summary(self) -> str:
+        """A compact multi-line report (CLI output)."""
+        lines = [
+            f"scenario   : {self.spec.name} [{self.spec.protocol}] "
+            f"n={self.spec.n} f={self.spec.f}"
+            + (f" t={self.spec.t}" if self.spec.t is not None else ""),
+            f"outcome    : {'OK' if self.ok else 'FAIL'}"
+            + (
+                f" — workload drained at t={self.decision_time}"
+                if self.decided and self.total_requests
+                else f" — decided {self.decision_value!r} at t={self.decision_time}"
+                if self.decided
+                else " — no decision"
+            ),
+        ]
+        if self.steps is not None:
+            lines.append(f"latency    : {self.steps} message delays")
+        if self.total_requests:
+            lines.append(
+                f"workload   : {self.completed_requests}/{self.total_requests} "
+                f"requests completed"
+            )
+        lines.append(
+            f"traffic    : {self.messages_sent} msgs sent, "
+            f"{self.messages_delivered} delivered, ~{self.bytes_sent} bytes"
+        )
+        lines.extend(f"  {verdict}" for verdict in self.verdicts)
+        return "\n".join(lines)
+
+
+def _schedule_faults(spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster) -> None:
+    network = cluster.network
+    for event in spec.faults:
+        if isinstance(event, Crash):
+            action = lambda pid=event.pid: built.process_by_pid(pid).crash()
+        elif isinstance(event, Recover):
+            action = lambda pid=event.pid: built.process_by_pid(pid).recover()
+        elif isinstance(event, PartitionStart):
+            action = lambda groups=event.groups: network.start_partition(groups)
+        elif isinstance(event, PartitionHeal):
+            action = network.heal_partition
+        elif isinstance(event, DelayRuleOn):
+            rule = DelayRule(
+                name=event.name,
+                extra_delay=event.extra_delay,
+                hold_until=event.hold_until,
+                src=frozenset(event.src) if event.src is not None else None,
+                dst=frozenset(event.dst) if event.dst is not None else None,
+                payload_types=event.payload_types,
+            )
+            action = lambda r=rule: network.set_delay_rule(r)
+        elif isinstance(event, DelayRuleOff):
+            action = lambda name=event.name: network.clear_delay_rule(name)
+        else:  # pragma: no cover - exhaustive over FaultEvent
+            raise ScenarioError(f"unknown fault event {event!r}")
+        cluster.sim.schedule_at(event.at, action, label=f"fault {event}")
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Build, run and judge one scenario."""
+    spec.validate()
+    adapter = ADAPTERS.get(spec.protocol)
+    if adapter is None:
+        raise ScenarioError(
+            f"unknown protocol {spec.protocol!r}; known: {sorted(ADAPTERS)}"
+        )
+    built = adapter.build(spec)
+    cluster = Cluster(built.processes, delay_model=spec.delay.build())
+    _schedule_faults(spec, built, cluster)
+
+    decided = False
+    decision_value: Any = None
+    decision_time: Optional[float] = None
+    safety_violation: Optional[str] = None
+    if built.mode == "smr":
+        cluster.start()
+        # A client crashed by the schedule (and never recovered) cannot
+        # finish its workload; completion is owed only by the others.
+        crashed = set(spec.crashed_forever_pids)
+        live_clients = [c for c in built.clients if c.pid not in crashed]
+        try:
+            decision_time = cluster.sim.run_until(
+                lambda: all(c.all_completed for c in live_clients),
+                timeout=spec.timeout,
+            )
+            decided = True
+        except SimulationTimeout:
+            decided = False
+        except ConsistencyViolation as violation:
+            safety_violation = str(violation)
+    else:
+        try:
+            result = cluster.run_until_decided(
+                correct_pids=built.live_pids, timeout=spec.timeout
+            )
+            decided = result.decided
+            decision_value = result.decision_value
+            decision_time = result.decision_time
+        except ConsistencyViolation as violation:
+            safety_violation = str(violation)
+
+    steps: Optional[int] = None
+    if decided and decision_time is not None and spec.delay.counts_steps:
+        steps = message_delays(decision_time, spec.delay.delta)
+
+    verdicts = evaluate_invariants(
+        spec, built, cluster, decided, decision_time, safety_violation
+    )
+    stats = cluster.network.stats
+    completed = sum(c.completed_count for c in built.clients)
+    total = spec.workload.total_requests if spec.workload is not None else 0
+    applied = max(
+        (replica.executed_upto + 1 for replica in built.replicas), default=0
+    )
+    return ScenarioResult(
+        spec=spec,
+        decided=decided,
+        decision_value=decision_value,
+        decision_time=decision_time,
+        steps=steps,
+        per_pid_decisions=decisions_of(cluster, built.honest_pids),
+        messages_sent=stats.messages_sent,
+        messages_delivered=stats.messages_delivered,
+        bytes_sent=stats.bytes_sent,
+        messages_by_type=cluster.trace.messages_by_type(),
+        events_processed=cluster.sim.events_processed,
+        safety_violation=safety_violation,
+        verdicts=verdicts,
+        completed_requests=completed,
+        total_requests=total,
+        applied_slots=applied,
+    )

@@ -12,6 +12,7 @@ from .events import Event, EventHandle, SimulationError, SimulationTimeout, Simu
 from .network import (
     DEFAULT_DELTA,
     DelayModel,
+    DelayRule,
     Envelope,
     Network,
     NetworkStats,
@@ -19,6 +20,7 @@ from .network import (
     RandomDelay,
     RoundSynchronousDelay,
     SynchronousDelay,
+    payload_size,
 )
 from .process import Process, ProcessContext, Timer
 from .runner import Cluster, ClusterResult
@@ -31,6 +33,7 @@ __all__ = [
     "DEFAULT_DELTA",
     "Decision",
     "DelayModel",
+    "DelayRule",
     "Envelope",
     "Event",
     "EventHandle",
@@ -48,4 +51,5 @@ __all__ = [
     "Timer",
     "TraceRecorder",
     "message_delays",
+    "payload_size",
 ]

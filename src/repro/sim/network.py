@@ -18,14 +18,38 @@ models exactly that:
 An :class:`Interceptor` hook lets an adversary re-time (but never forge,
 modify, or drop) individual messages, which is how the lower-bound splice
 executions steer deliveries.
+
+On top of the raw interceptor the network offers two first-class,
+declarative fault primitives (used by the scenario engine in
+:mod:`repro.scenarios` and available to tests directly):
+
+* :class:`DelayRule` — a named, matchable re-timing rule (``set_delay_rule``
+  / ``clear_delay_rule``): messages matching on source, destination and/or
+  payload type are delayed by a fixed extra amount or held until an
+  absolute time.  This is the indy-plenum ``delay_rules`` idiom.
+* partitions (``start_partition`` / ``heal_partition``) — messages crossing
+  the current partition are *held* (never dropped: channels stay reliable)
+  and released when the partition heals, re-timed by the delay model.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from .events import Simulator
 
@@ -36,10 +60,12 @@ __all__ = [
     "RoundSynchronousDelay",
     "PartialSynchronyDelay",
     "RandomDelay",
+    "DelayRule",
     "Envelope",
     "Interceptor",
     "Network",
     "NetworkStats",
+    "payload_size",
 ]
 
 #: Default synchrony bound used across examples and benchmarks (arbitrary
@@ -151,6 +177,95 @@ class Envelope:
 Interceptor = Callable[[Envelope], Optional[float]]
 
 
+def payload_size(payload: Any) -> int:
+    """Deterministic structural size estimate of a payload, in bytes.
+
+    The simulation never serializes messages, so "bytes on the wire" is a
+    model, not a measurement: primitives cost their natural width, strings
+    and bytes their length, and containers/dataclasses a small framing
+    overhead plus the recursive cost of their fields.  The estimate is
+    stable across runs and platforms, which is what the bandwidth-style
+    metrics (``NetworkStats.bytes_sent``) need.
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return 8
+    if isinstance(payload, float):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8")) + 1
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return 2 + sum(payload_size(item) for item in payload)
+    if isinstance(payload, dict):
+        return 2 + sum(
+            payload_size(k) + payload_size(v) for k, v in payload.items()
+        )
+    if dataclasses.is_dataclass(payload):
+        return 2 + sum(
+            payload_size(getattr(payload, f.name))
+            for f in dataclasses.fields(payload)
+        )
+    if hasattr(payload, "__dict__"):
+        return 2 + sum(payload_size(v) for v in vars(payload).values())
+    return len(repr(payload))
+
+
+@dataclass(frozen=True)
+class DelayRule:
+    """A named, declarative message re-timing rule.
+
+    A rule *matches* an envelope when all of its non-``None`` filters do:
+    ``src``/``dst`` restrict the endpoints, ``payload_types`` restricts the
+    payload class name.  A matching envelope is delayed by ``extra_delay``
+    beyond the delay model's choice and, additionally, never delivered
+    before the absolute time ``hold_until``.  Rules re-time only — they can
+    never drop a message (channels stay reliable).
+    """
+
+    name: str
+    extra_delay: float = 0.0
+    hold_until: Optional[float] = None
+    src: Optional[FrozenSet[ProcessId]] = None
+    dst: Optional[FrozenSet[ProcessId]] = None
+    payload_types: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.extra_delay < 0:
+            raise ValueError("extra_delay must be >= 0")
+        # Accept any iterable of pids / type names for convenience.
+        if self.src is not None and not isinstance(self.src, frozenset):
+            object.__setattr__(self, "src", frozenset(self.src))
+        if self.dst is not None and not isinstance(self.dst, frozenset):
+            object.__setattr__(self, "dst", frozenset(self.dst))
+        if self.payload_types is not None and not isinstance(
+            self.payload_types, tuple
+        ):
+            object.__setattr__(
+                self, "payload_types", tuple(self.payload_types)
+            )
+
+    def matches(self, envelope: Envelope) -> bool:
+        if self.src is not None and envelope.src not in self.src:
+            return False
+        if self.dst is not None and envelope.dst not in self.dst:
+            return False
+        if (
+            self.payload_types is not None
+            and type(envelope.payload).__name__ not in self.payload_types
+        ):
+            return False
+        return True
+
+    def apply(self, deliver_time: float) -> float:
+        delayed = deliver_time + self.extra_delay
+        if self.hold_until is not None:
+            delayed = max(delayed, self.hold_until)
+        return delayed
+
+
 @dataclass
 class NetworkStats:
     """Counters the analysis layer reads after a run."""
@@ -158,6 +273,7 @@ class NetworkStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     bytes_sent: int = 0
+    messages_held: int = 0
 
 
 class Network:
@@ -182,6 +298,11 @@ class Network:
         self._handlers: Dict[ProcessId, Callable[[ProcessId, Any], None]] = {}
         self._delivery_log: List[Envelope] = []
         self._send_hooks: List[Callable[[Envelope], None]] = []
+        self._delay_rules: Dict[str, DelayRule] = {}
+        self._partition: Optional[Tuple[FrozenSet[ProcessId], ...]] = None
+        self._held: List[Envelope] = []
+        self._size_cache_key: Any = object()  # sentinel: matches no payload
+        self._size_cache_value: int = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -207,6 +328,89 @@ class Network:
         self._send_hooks.append(hook)
 
     # ------------------------------------------------------------------
+    # Declarative fault primitives: delay rules and partitions
+    # ------------------------------------------------------------------
+
+    def set_delay_rule(self, rule: DelayRule) -> DelayRule:
+        """Install (or replace, by name) a :class:`DelayRule`.
+
+        The rule applies to messages sent while it is installed; messages
+        already in flight keep their scheduled delivery time.
+        """
+        self._delay_rules[rule.name] = rule
+        return rule
+
+    def clear_delay_rule(self, name: str) -> None:
+        """Remove the named rule.  Unknown names are a no-op."""
+        self._delay_rules.pop(name, None)
+
+    @property
+    def delay_rules(self) -> Tuple[DelayRule, ...]:
+        return tuple(self._delay_rules.values())
+
+    def start_partition(
+        self, groups: Sequence[Iterable[ProcessId]]
+    ) -> None:
+        """Partition the network into ``groups``.
+
+        Messages whose endpoints fall in different groups are *held* — not
+        dropped — until :meth:`heal_partition`.  Processes appearing in no
+        group form one implicit extra group.  A process may appear in at
+        most one group.
+        """
+        frozen = tuple(frozenset(g) for g in groups)
+        seen: set = set()
+        for group in frozen:
+            if group & seen:
+                raise ValueError(f"process in multiple partition groups: {frozen}")
+            seen |= group
+        self._partition = frozen
+
+    def heal_partition(self) -> None:
+        """Remove the partition and release held messages.
+
+        Each held message is re-timed by the delay model from the heal
+        instant, matching the "in-flight messages arrive within the bound
+        after stabilization" convention.  Active delay rules and the
+        interceptor still apply to the released messages — healing never
+        bypasses their contract.
+        """
+        self._partition = None
+        held, self._held = self._held, []
+        now = self.sim.now
+        for envelope in held:
+            delay = self.delay_model.delay(envelope.src, envelope.dst, now)
+            released = Envelope(
+                src=envelope.src,
+                dst=envelope.dst,
+                payload=envelope.payload,
+                send_time=envelope.send_time,
+                deliver_time=now + delay,
+            )
+            self._schedule_delivery(self._retime(released))
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    @property
+    def held_messages(self) -> Tuple[Envelope, ...]:
+        """Messages currently held by the partition."""
+        return tuple(self._held)
+
+    def _crosses_partition(self, src: ProcessId, dst: ProcessId) -> bool:
+        if self._partition is None or src == dst:
+            return False
+
+        def group_of(pid: ProcessId) -> int:
+            for index, group in enumerate(self._partition):
+                if pid in group:
+                    return index
+            return -1  # the implicit "everyone else" group
+
+        return group_of(src) != group_of(dst)
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
 
@@ -218,30 +422,64 @@ class Network:
         delay = self.delay_model.delay(src, dst, now)
         if delay < 0 or math.isinf(delay) or math.isnan(delay):
             raise ValueError(f"delay model returned invalid delay {delay}")
-        envelope = Envelope(
-            src=src, dst=dst, payload=payload,
-            send_time=now, deliver_time=now + delay,
+        envelope = self._retime(
+            Envelope(
+                src=src, dst=dst, payload=payload,
+                send_time=now, deliver_time=now + delay,
+            )
         )
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += self._payload_size_cached(payload)
+        for hook in self._send_hooks:
+            hook(envelope)
+        if self._crosses_partition(src, dst):
+            self.stats.messages_held += 1
+            self._held.append(envelope)
+            return envelope
+        self._schedule_delivery(envelope)
+        return envelope
+
+    def _retime(self, envelope: Envelope) -> Envelope:
+        """Apply delay rules, then the interceptor, to an envelope."""
+        deliver_time = envelope.deliver_time
+        for rule in self._delay_rules.values():
+            if rule.matches(envelope):
+                deliver_time = rule.apply(deliver_time)
+        if deliver_time != envelope.deliver_time:
+            envelope = Envelope(
+                src=envelope.src, dst=envelope.dst, payload=envelope.payload,
+                send_time=envelope.send_time, deliver_time=deliver_time,
+            )
         if self.interceptor is not None:
             override = self.interceptor(envelope)
             if override is not None:
+                now = self.sim.now
                 if math.isinf(override) or math.isnan(override) or override < now:
                     raise ValueError(
                         f"interceptor returned invalid delivery time {override}"
                     )
                 envelope = Envelope(
-                    src=src, dst=dst, payload=payload,
-                    send_time=now, deliver_time=override,
+                    src=envelope.src, dst=envelope.dst, payload=envelope.payload,
+                    send_time=envelope.send_time, deliver_time=override,
                 )
-        self.stats.messages_sent += 1
-        for hook in self._send_hooks:
-            hook(envelope)
+        return envelope
+
+    def _payload_size_cached(self, payload: Any) -> int:
+        """One-entry identity cache: broadcasts account the same payload
+        object once per recipient without re-walking it."""
+        if payload is self._size_cache_key:
+            return self._size_cache_value
+        size = payload_size(payload)
+        self._size_cache_key = payload
+        self._size_cache_value = size
+        return size
+
+    def _schedule_delivery(self, envelope: Envelope) -> None:
         self.sim.schedule_at(
             envelope.deliver_time,
             lambda env=envelope: self._deliver(env),
-            label=f"deliver {src}->{dst}",
+            label=f"deliver {envelope.src}->{envelope.dst}",
         )
-        return envelope
 
     def broadcast(
         self, src: ProcessId, payload: Any, include_self: bool = True

@@ -59,6 +59,17 @@ class ProcessContext:
             timer.cancel()
         self._timers.clear()
 
+    def resume(self) -> None:
+        """Undo a halt (crash-recovery).
+
+        The process keeps its in-memory state but has lost every message
+        delivered while down and every timer armed before the crash —
+        exactly the crash-recovery model scenario schedules need.  Waking
+        the process up again (e.g. re-arming its timers) is the caller's
+        business.
+        """
+        self._halted = False
+
     # ------------------------------------------------------------------
     def send(self, dst: ProcessId, payload: Any) -> None:
         if self._halted:
@@ -156,9 +167,14 @@ class Process:
         self.ctx.broadcast(payload, include_self=include_self)
 
     def crash(self) -> None:
-        """Permanently stop taking steps."""
+        """Stop taking steps (until a scenario explicitly recovers us)."""
         if self.ctx is not None:
             self.ctx.halt()
+
+    def recover(self) -> None:
+        """Resume after a crash; see :meth:`ProcessContext.resume`."""
+        if self.ctx is not None:
+            self.ctx.resume()
 
     @property
     def crashed(self) -> bool:

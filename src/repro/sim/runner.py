@@ -39,6 +39,7 @@ class ClusterResult:
         self.decision_time = decision_time
         self.trace = cluster.trace
         self.messages_sent = cluster.network.stats.messages_sent
+        self.bytes_sent = cluster.network.stats.bytes_sent
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -70,35 +70,33 @@ class TestReordering:
 
 class TestTargetedDelays:
     def test_leader_isolated_then_healed(self):
-        """All traffic to/from the leader is stalled for a while; a view
-        change elects someone else and the system still agrees."""
+        """All traffic to/from the leader is stalled for a while (via
+        first-class delay rules); a view change elects someone else and
+        the system still agrees."""
+        from repro.sim.network import DelayRule
+
         HEAL = 60.0
-
-        def isolate(envelope):
-            if 0 in (envelope.src, envelope.dst):
-                return max(envelope.deliver_time, HEAL)
-            return None
-
-        cluster, procs = build(4, 1, interceptor=isolate)
+        cluster, procs = build(4, 1)
+        cluster.network.set_delay_rule(
+            DelayRule(name="isolate-leader-out", src=frozenset({0}), hold_until=HEAL)
+        )
+        cluster.network.set_delay_rule(
+            DelayRule(name="isolate-leader-in", dst=frozenset({0}), hold_until=HEAL)
+        )
         result = cluster.run_until_decided(timeout=3000)
         assert result.decided
         cluster.trace.check_agreement(range(4))
 
     def test_split_cluster_heals(self):
         """Two halves cannot talk for a while — no quorum forms, so no
-        decision; after healing, agreement is reached exactly once."""
+        decision; after the partition heals, agreement is reached exactly
+        once (first-class partition support)."""
         HEAL = 50.0
-        left = {0, 1}
-
-        def partition(envelope):
-            crossing = (envelope.src in left) != (envelope.dst in left)
-            if crossing and envelope.send_time < HEAL:
-                return max(envelope.deliver_time, HEAL + 1.0)
-            return None
-
-        cluster, procs = build(4, 1, interceptor=partition)
+        cluster, procs = build(4, 1)
+        cluster.network.start_partition([(0, 1), (2, 3)])
+        cluster.sim.schedule_at(HEAL, cluster.network.heal_partition)
         cluster.start()
-        cluster.sim.run(until=HEAL)
+        cluster.sim.run(until=HEAL - 1.0)
         assert not any(p.decided for p in procs)  # no quorum inside a half
         result = cluster.run_until_decided(timeout=3000)
         assert result.decided

@@ -1,0 +1,160 @@
+"""The seeded scenario fuzzer: determinism, survivability, shrinking."""
+
+import pytest
+
+from repro.scenarios import generate_scenario, run_fuzz, run_scenario, shrink_spec
+from repro.scenarios.fuzz import DEFAULT_FUZZ_PROTOCOLS, _paired_removals
+from repro.scenarios.library import get_scenario
+from repro.scenarios.spec import (
+    Crash,
+    DelayRuleOff,
+    DelayRuleOn,
+    PartitionHeal,
+    PartitionStart,
+    Recover,
+)
+
+
+class TestGenerator:
+    def test_same_seed_same_spec(self):
+        assert generate_scenario(42) == generate_scenario(42)
+
+    def test_different_seeds_differ_somewhere(self):
+        specs = [generate_scenario(seed) for seed in range(20)]
+        assert len({spec.to_dict().__repr__() for spec in specs}) > 1
+
+    def test_generated_specs_validate(self):
+        for seed in range(50):
+            generate_scenario(seed).validate()
+
+    def test_generated_specs_respect_fault_budget(self):
+        for seed in range(50):
+            spec = generate_scenario(seed)
+            assert len(spec.faulty_pids) <= spec.f
+
+    def test_partitions_always_heal(self):
+        for seed in range(80):
+            spec = generate_scenario(seed)
+            starts = [e for e in spec.faults if isinstance(e, PartitionStart)]
+            heals = [e for e in spec.faults if isinstance(e, PartitionHeal)]
+            assert len(starts) == len(heals)
+            for start, heal in zip(starts, heals):
+                assert heal.at > start.at
+
+    def test_delay_rules_always_lift(self):
+        for seed in range(80):
+            spec = generate_scenario(seed)
+            ons = {e.name for e in spec.faults if isinstance(e, DelayRuleOn)}
+            offs = {e.name for e in spec.faults if isinstance(e, DelayRuleOff)}
+            assert ons == offs
+
+    def test_protocol_restriction_honoured(self):
+        for seed in range(20):
+            assert generate_scenario(seed, protocols=("pbft",)).protocol == "pbft"
+
+
+class TestFuzzLoop:
+    def test_default_mix_passes(self):
+        """The acceptance smoke: a batch of seeds across FBFT and the
+        baselines, every oracle green."""
+        report = run_fuzz(seeds=12, protocols=DEFAULT_FUZZ_PROTOCOLS)
+        assert report.ok, report.summary()
+        assert report.seeds_run == 12
+        assert sum(report.by_protocol.values()) == 12
+
+    def test_deterministic_across_runs(self):
+        first = run_fuzz(seeds=6)
+        second = run_fuzz(seeds=6)
+        assert first.by_protocol == second.by_protocol
+        assert first.ok == second.ok
+
+    def test_failure_recorded_per_seed(self):
+        """Substitute the known-unsafe configuration (relaxed fast quorum
+        + equivocating leader + stalled acks) for every generated fbft
+        run: the loop must record each failure."""
+        bad = get_scenario("equivocating-leader").with_(
+            faults=(
+                DelayRuleOn(at=0.0, name="stall", src=(1, 2), dst=(3,),
+                            payload_types=("Ack",), extra_delay=5.0),
+            ),
+            protocol_options={"fast_quorum_delta": 1},
+        )
+
+        def buggy_run(spec):
+            return run_scenario(bad.with_(name=spec.name))
+
+        report = run_fuzz(
+            seeds=6, protocols=("fbft",), shrink=False, run=buggy_run
+        )
+        assert not report.ok
+        assert len(report.failures) == 6
+        assert all("agreement" in "; ".join(f.failures) for f in report.failures)
+
+
+class TestShrinking:
+    def test_paired_removals_keep_schedules_well_formed(self):
+        spec = generate_scenario(0).with_(
+            faults=(
+                Crash(at=1.0, pid=1),
+                Recover(at=2.0, pid=1),
+                PartitionStart(at=3.0, groups=((0,), (1, 2))),
+                PartitionHeal(at=9.0),
+                DelayRuleOn(at=0.0, name="x", extra_delay=1.0),
+                DelayRuleOff(at=5.0, name="x"),
+            )
+        )
+        for faults in _paired_removals(spec):
+            starts = sum(isinstance(e, PartitionStart) for e in faults)
+            heals = sum(isinstance(e, PartitionHeal) for e in faults)
+            assert starts == heals
+            ons = {e.name for e in faults if isinstance(e, DelayRuleOn)}
+            offs = {e.name for e in faults if isinstance(e, DelayRuleOff)}
+            assert ons == offs
+            crashed = {e.pid for e in faults if isinstance(e, Crash)}
+            recovered = {e.pid for e in faults if isinstance(e, Recover)}
+            assert recovered <= crashed
+
+    def test_shrink_drops_irrelevant_chaff(self):
+        """Start from the injected-bug reproducer plus unrelated faults;
+        shrinking must strip the chaff and keep the essential timing."""
+        essential = DelayRuleOn(
+            at=0.0, name="stall", src=(1, 2), dst=(3,),
+            payload_types=("Ack",), extra_delay=5.0,
+        )
+        noisy = get_scenario("equivocating-leader").with_(
+            name="noisy-bug",
+            faults=(
+                essential,
+                PartitionStart(at=100.0, groups=((0, 1), (2, 3))),
+                PartitionHeal(at=110.0),
+                DelayRuleOn(at=120.0, name="late", extra_delay=1.0),
+                DelayRuleOff(at=130.0, name="late"),
+            ),
+            protocol_options={"fast_quorum_delta": 1},
+        )
+        assert not run_scenario(noisy).ok  # the bug fires despite the noise
+        shrunk = shrink_spec(noisy, lambda s: not run_scenario(s).ok)
+        assert shrunk.faults == (essential,)
+        assert len(shrunk.byzantine) == 1  # the equivocator is essential
+
+    def test_shrink_keeps_spec_failing(self):
+        noisy = get_scenario("equivocating-leader").with_(
+            name="bug",
+            faults=(
+                DelayRuleOn(at=0.0, name="stall", src=(1, 2), dst=(3,),
+                            payload_types=("Ack",), extra_delay=5.0),
+            ),
+            protocol_options={"fast_quorum_delta": 1},
+        )
+        shrunk = shrink_spec(noisy, lambda s: not run_scenario(s).ok)
+        assert not run_scenario(shrunk).ok
+
+    def test_shrink_is_noop_on_already_minimal_passing_predicate(self):
+        spec = get_scenario("fast-path-clean")
+        assert shrink_spec(spec, lambda s: False) == spec
+
+    def test_unknown_protocol_rejected_cleanly(self):
+        from repro.scenarios import ScenarioError
+
+        with pytest.raises(ScenarioError, match="unknown fuzz protocols"):
+            generate_scenario(0, protocols=("bogus",))

@@ -206,3 +206,60 @@ class TestInterceptor:
         )
         with pytest.raises(ValueError):
             net.send(0, 1, "x")
+
+
+class TestDelayModelEdgeCases:
+    """Exact-boundary behaviour the scenario engine's schedules rely on."""
+
+    def test_round_boundary_send_at_every_round(self):
+        """A send at exactly i*delta belongs to round i+1 for every i."""
+        model = RoundSynchronousDelay(1.0)
+        for i in range(10):
+            assert model.delivery_time(float(i)) == float(i + 1)
+
+    def test_round_boundary_with_fractional_delta(self):
+        model = RoundSynchronousDelay(0.25)
+        assert model.delivery_time(0.5) == 0.75   # exactly on a boundary
+        assert model.delivery_time(0.5 + 1e-12) == 0.75  # just inside the round
+
+    def test_round_delay_is_always_positive(self):
+        """No model may produce a zero or negative transit time."""
+        model = RoundSynchronousDelay(1.0)
+        for send_time in (0.0, 0.3, 0.999999, 1.0, 7.5, 100.0):
+            assert model.delay(0, 1, send_time) > 0.0
+
+    def test_just_before_boundary_delivers_at_that_boundary(self):
+        model = RoundSynchronousDelay(1.0)
+        send = 3.0 - 1e-9
+        assert model.delivery_time(send) == 3.0
+
+    def test_partial_synchrony_send_just_before_gst(self):
+        """A message sent at gst - epsilon must arrive by gst + delta."""
+        model = PartialSynchronyDelay(delta=1.0, gst=20.0, pre_gst_max=50.0, seed=3)
+        for epsilon in (1e-9, 1e-3, 0.5, 1.0):
+            send = 20.0 - epsilon
+            delay = model.delay(0, 1, send)
+            assert delay >= 0.0
+            assert send + delay <= 20.0 + 1.0 + 1e-9, (
+                f"send at {send} arrived at {send + delay}, after gst + delta"
+            )
+
+    def test_partial_synchrony_send_exactly_at_gst(self):
+        model = PartialSynchronyDelay(delta=1.0, gst=20.0, seed=3)
+        assert model.delay(0, 1, 20.0) == 1.0
+
+    def test_partial_synchrony_pre_gst_delay_never_negative(self):
+        """Sends inside (gst - delta, gst) hit the gst + delta clamp; the
+        resulting delay must stay >= 0 even when the raw draw overshoots."""
+        model = PartialSynchronyDelay(delta=2.0, gst=5.0, pre_gst_max=100.0, seed=0)
+        for send in (4.0, 4.5, 4.999, 3.0):
+            for _ in range(20):
+                delay = model.delay(0, 1, send)
+                assert delay >= 0.0
+                assert send + delay <= 5.0 + 2.0 + 1e-9
+
+    def test_partial_synchrony_early_send_bounded_by_pre_gst_max(self):
+        model = PartialSynchronyDelay(delta=1.0, gst=1000.0, pre_gst_max=30.0, seed=9)
+        for _ in range(50):
+            delay = model.delay(0, 1, 0.0)
+            assert 1.0 <= delay <= 30.0
