@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The batched, pipelined SMR engine, before and after.
+
+The seed engine decided one client command per slot, one slot at a time.
+The replication engine packs up to ``batch_size`` commands into each
+slot's :class:`~repro.smr.replica.Batch` and keeps ``pipeline_depth``
+consensus instances in flight (execution stays strictly in slot order).
+This example drives the identical closed-loop workload through both
+configurations and prints the difference — same commands, same replies,
+a fraction of the slots and the simulated time.
+"""
+
+from repro.analysis import format_table, run_smr_throughput
+
+CONFIGS = [
+    ("seed engine", dict(batch_size=1, pipeline_depth=1)),
+    ("batched", dict(batch_size=8, pipeline_depth=1)),
+    ("batched+pipelined", dict(batch_size=8, pipeline_depth=4)),
+]
+
+
+def main() -> None:
+    rows = []
+    results = {}
+    for label, knobs in CONFIGS:
+        result = run_smr_throughput(
+            backend="fbft", n=4, f=1,
+            clients=3, requests_per_client=10, window=10, **knobs,
+        )
+        results[label] = result
+        rows.append(
+            [
+                label, result.batch_size, result.pipeline_depth,
+                result.completed, result.slots_used, result.duration,
+                round(result.ops_per_sec, 3),
+                result.latency.p50, result.latency.p95,
+            ]
+        )
+    print("30 KV commands, 3 closed-loop clients (window 10), n=4 f=1:\n")
+    print(
+        format_table(
+            ["engine", "batch", "depth", "done", "slots", "time", "ops/t",
+             "p50", "p95"],
+            rows,
+        )
+    )
+    speedup = (
+        results["batched+pipelined"].ops_per_sec
+        / results["seed engine"].ops_per_sec
+    )
+    print(f"\nbatching + pipelining sustains {speedup:.1f}x the seed throughput")
+    print("(same client load, identical replica logs, strict slot-order execution)")
+
+
+if __name__ == "__main__":
+    main()

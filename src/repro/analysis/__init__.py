@@ -1,7 +1,15 @@
 """Measurement and reporting utilities for the experiment suite."""
 
 from .comparison import PROTOCOLS, ProtocolSpec, build_protocol
-from .metrics import CommonCaseResult, Stats, repeat_latency, run_common_case
+from .metrics import (
+    CommonCaseResult,
+    Stats,
+    ThroughputResult,
+    repeat_latency,
+    run_common_case,
+    run_smr_throughput,
+    smr_instance_factory,
+)
 from .report import format_markdown_table, format_scenario_results, format_table
 
 __all__ = [
@@ -9,10 +17,13 @@ __all__ = [
     "PROTOCOLS",
     "ProtocolSpec",
     "Stats",
+    "ThroughputResult",
     "build_protocol",
     "format_markdown_table",
     "format_scenario_results",
     "format_table",
     "repeat_latency",
     "run_common_case",
+    "run_smr_throughput",
+    "smr_instance_factory",
 ]

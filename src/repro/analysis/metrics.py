@@ -1,4 +1,4 @@
-"""Measurement helpers: latency distributions and run summaries."""
+"""Measurement helpers: latency distributions, throughput, run summaries."""
 
 from __future__ import annotations
 
@@ -7,12 +7,20 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from ..sim.network import DelayModel, RoundSynchronousDelay
+from ..sim.network import DelayModel, RoundSynchronousDelay, SynchronousDelay
 from ..sim.process import Process
 from ..sim.runner import Cluster
 from ..sim.trace import message_delays
 
-__all__ = ["Stats", "CommonCaseResult", "run_common_case", "repeat_latency"]
+__all__ = [
+    "Stats",
+    "CommonCaseResult",
+    "ThroughputResult",
+    "run_common_case",
+    "repeat_latency",
+    "run_smr_throughput",
+    "smr_instance_factory",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +115,136 @@ def run_common_case(
         messages=messages,
         messages_by_type=by_type,
         bytes_sent=bytes_sent,
+    )
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """One closed-loop SMR run: sustained ops/sec and latency percentiles."""
+
+    backend: str
+    n: int
+    f: int
+    batch_size: int
+    pipeline_depth: int
+    clients: int
+    window: int
+    completed: int
+    #: Simulated time from start until every client's workload drained.
+    duration: float
+    #: Completed commands per unit of simulated time.
+    ops_per_sec: float
+    #: End-to-end command latency distribution (submit -> f+1 replies).
+    latency: Stats
+    #: Log slots the replicas actually consumed (batching collapses these).
+    slots_used: int
+    messages_sent: int
+
+    def row(self) -> List[Any]:
+        """The table row the E15 experiment prints."""
+        return [
+            self.backend,
+            self.batch_size,
+            self.pipeline_depth,
+            self.completed,
+            self.slots_used,
+            round(self.ops_per_sec, 3),
+            round(self.latency.p50, 1),
+            round(self.latency.p95, 1),
+        ]
+
+
+def smr_instance_factory(backend: str, n: int, f: int, t: int = 1,
+                         base_timeout: float = 12.0):
+    """Per-slot consensus factory for an SMR backend (``fbft`` / ``pbft``).
+
+    Thin view over :func:`repro.smr.backends.smr_backend` — the same
+    construction the scenario adapters use, so harness and scenarios
+    always measure the identical engine.
+    """
+    from ..smr.backends import smr_backend
+
+    return smr_backend(backend, n, f, t=t, base_timeout=base_timeout)[2]
+
+
+def run_smr_throughput(
+    backend: str = "fbft",
+    n: int = 4,
+    f: int = 1,
+    t: int = 1,
+    clients: int = 4,
+    requests_per_client: int = 16,
+    window: int = 8,
+    batch_size: int = 8,
+    pipeline_depth: int = 4,
+    batch_timeout: float = 0.0,
+    delta: float = 1.0,
+    base_timeout: float = 12.0,
+    timeout: float = 100_000.0,
+) -> ThroughputResult:
+    """Drive a closed-loop KV workload through a replica group and measure
+    sustained throughput and latency percentiles.
+
+    Every client keeps ``window`` commands in flight; the replicas pack
+    up to ``batch_size`` commands per slot and keep ``pipeline_depth``
+    consensus instances running.  Simulated time is deterministic, so the
+    reported ops/sec are exactly reproducible.
+    """
+    from ..core.config import ReplicationConfig
+    from ..smr.client import SMRClient
+    from ..smr.kvstore import KVStore
+    from ..smr.replica import SMRReplica
+
+    factory = smr_instance_factory(backend, n, f, t=t, base_timeout=base_timeout)
+    replication = ReplicationConfig(
+        batch_size=batch_size,
+        batch_timeout=batch_timeout,
+        pipeline_depth=pipeline_depth,
+    )
+    replicas = [
+        SMRReplica(pid, n, f, KVStore(), factory, replication=replication)
+        for pid in range(n)
+    ]
+    client_procs = [
+        SMRClient(pid=n + i, replica_pids=range(n), f=f, window=window)
+        for i in range(clients)
+    ]
+    for index, client in enumerate(client_procs):
+        client.load_workload(
+            [("set", f"k{index}.{i}", i) for i in range(requests_per_client)]
+        )
+    cluster = Cluster(
+        replicas + client_procs, delay_model=SynchronousDelay(delta)
+    )
+    cluster.start()
+    duration = cluster.sim.run_until(
+        lambda: all(c.all_completed for c in client_procs), timeout=timeout
+    )
+    completed = sum(c.completed_count for c in client_procs)
+    latencies = [l for c in client_procs for l in c.latencies()]
+    slots_used = max(r.executed_upto for r in replicas) + 1
+    # Slot-wise agreement (a replica may still be catching up on the very
+    # last slot at the instant the workload drains).
+    by_slot: Dict[int, set] = {}
+    for replica in replicas:
+        for slot, value in replica.log:
+            by_slot.setdefault(slot, set()).add(value)
+    conflicting = {slot for slot, values in by_slot.items() if len(values) > 1}
+    assert not conflicting, f"replica logs diverged on slots {sorted(conflicting)}"
+    return ThroughputResult(
+        backend=backend,
+        n=n,
+        f=f,
+        batch_size=batch_size,
+        pipeline_depth=pipeline_depth,
+        clients=clients,
+        window=window,
+        completed=completed,
+        duration=duration,
+        ops_per_sec=completed / duration,
+        latency=Stats.from_values(latencies),
+        slots_used=slots_used,
+        messages_sent=cluster.network.stats.messages_sent,
     )
 
 

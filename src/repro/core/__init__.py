@@ -8,7 +8,7 @@ from .certificates import (
     commit_certificate_valid,
     progress_certificate_valid,
 )
-from .config import ProtocolConfig
+from .config import ProtocolConfig, ReplicationConfig
 from .fastbft import FastBFTProcess, FBFTBase
 from .generalized import GeneralizedFBFTProcess
 from .messages import Ack, AckSig, CertAck, CertRequest, Commit, Propose, Vote
@@ -55,6 +55,7 @@ __all__ = [
     "ProgressCertificate",
     "Propose",
     "ProtocolConfig",
+    "ReplicationConfig",
     "Selected",
     "SignedVote",
     "Vote",

@@ -27,9 +27,49 @@ from .quorums import (
     min_processes_fast_bft,
 )
 
-__all__ = ["ProtocolConfig"]
+__all__ = ["ProtocolConfig", "ReplicationConfig"]
 
 ProcessId = int
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Tuning knobs of the SMR replication engine (``repro.smr``).
+
+    * ``batch_size`` — maximum client commands packed into one slot's
+      :class:`~repro.smr.replica.Batch` proposal;
+    * ``batch_timeout`` — how long a replica may hold an under-full batch
+      open waiting for more commands (``0`` proposes immediately, which
+      preserves the single-command latency of the unbatched engine);
+    * ``pipeline_depth`` — consensus instances a replica keeps in flight
+      concurrently; execution stays strictly in slot order regardless;
+    * ``max_slots`` — hard cap on the log length (runaway guard).
+    """
+
+    batch_size: int = 8
+    batch_timeout: float = 0.0
+    pipeline_depth: int = 4
+    max_slots: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.batch_timeout < 0:
+            raise ValueError(
+                f"batch_timeout must be >= 0, got {self.batch_timeout}"
+            )
+        if self.pipeline_depth < 1:
+            raise ValueError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if self.max_slots < 1:
+            raise ValueError(f"max_slots must be >= 1, got {self.max_slots}")
+
+    def describe(self) -> str:
+        return (
+            f"batch={self.batch_size} timeout={self.batch_timeout} "
+            f"depth={self.pipeline_depth}"
+        )
 
 
 @dataclass(frozen=True)

@@ -113,11 +113,28 @@ class KeyRegistry:
     True
     >>> reg.verify(sig, ("propose", "y", 1))
     False
+
+    Verification results are memoized per ``(signer, digest)``: protocols
+    re-validate the same certificate signatures many times (every replica
+    checks every signature of every certificate it relays, and the SMR
+    layer multiplies that by slots and batches), so a successful
+    verification records the payload hash the digest was checked against
+    and later calls skip the HMAC recomputation.  A signature can only
+    ever verify against one payload (the digest binds it), so a cache hit
+    with a *different* payload hash is a definitive ``False``.
     """
+
+    #: Entries kept before the memo-cache resets (runaway guard).
+    CACHE_LIMIT = 1 << 16
 
     def __init__(self, domain: bytes = b"repro-fbft") -> None:
         self._domain = domain
         self._secrets: Dict[ProcessId, bytes] = {}
+        #: (signer, signature digest) -> sha256 of the canonical payload
+        #: bytes that this digest successfully verified against.
+        self._verify_cache: Dict[Tuple[ProcessId, bytes], bytes] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @classmethod
     def for_processes(
@@ -152,8 +169,20 @@ class KeyRegistry:
         secret = self._secrets.get(signature.signer)
         if secret is None:
             return False
-        expected = hmac.new(secret, canonical_bytes(payload), hashlib.sha256).digest()
-        return hmac.compare_digest(expected, signature.digest)
+        message = canonical_bytes(payload)
+        key = (signature.signer, signature.digest)
+        cached = self._verify_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return hmac.compare_digest(cached, hashlib.sha256(message).digest())
+        self.cache_misses += 1
+        expected = hmac.new(secret, message, hashlib.sha256).digest()
+        valid = hmac.compare_digest(expected, signature.digest)
+        if valid:
+            if len(self._verify_cache) >= self.CACHE_LIMIT:
+                self._verify_cache.clear()
+            self._verify_cache[key] = hashlib.sha256(message).digest()
+        return valid
 
     def verify_all(self, signatures: Iterable[Signature], payload: Any) -> bool:
         """Check every signature in the set verifies over ``payload``."""

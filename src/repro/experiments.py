@@ -24,6 +24,7 @@ from .analysis import (
     format_table,
     repeat_latency,
     run_common_case,
+    run_smr_throughput,
 )
 from .core.quorums import min_processes_fast_bft, quorum_report
 from .lowerbound import run_splice_attack
@@ -127,12 +128,38 @@ def quorums() -> str:
     )
 
 
+def throughput() -> str:
+    """E15: batched+pipelined SMR ops/sec vs the single-slot engine."""
+    rows = []
+    for backend, batch, depth in [
+        ("fbft", 1, 1),
+        ("fbft", 8, 1),
+        ("fbft", 8, 4),
+        ("pbft", 1, 1),
+        ("pbft", 8, 4),
+    ]:
+        result = run_smr_throughput(
+            backend=backend,
+            clients=2,
+            requests_per_client=8,
+            window=8,
+            batch_size=batch,
+            pipeline_depth=depth,
+        )
+        rows.append(result.row())
+    return format_table(
+        ["backend", "batch", "depth", "done", "slots", "ops/t", "p50", "p95"],
+        rows,
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "resilience": resilience,
     "latency": latency,
     "lower-bound": lower_bound,
     "ablation": ablation,
     "quorums": quorums,
+    "throughput": throughput,
 }
 
 

@@ -24,7 +24,7 @@ from ..byzantine.behaviors import (
     SilentProcess,
 )
 from ..core.certificates import ProgressCertificate, progress_certificate_valid
-from ..core.config import ProtocolConfig
+from ..core.config import ProtocolConfig, ReplicationConfig
 from ..core.fastbft import FastBFTProcess
 from ..core.generalized import GeneralizedFBFTProcess
 from ..core.messages import Propose
@@ -36,6 +36,7 @@ from ..core.quorums import (
 )
 from ..crypto.keys import KeyRegistry
 from ..sim.process import Process
+from ..smr.backends import smr_backend
 from ..smr.client import SMRClient
 from ..smr.kvstore import KVStore
 from ..smr.replica import SMRReplica, fbft_instance_factory
@@ -466,32 +467,48 @@ class PacedSMRClient(SMRClient):
         return self.completed_count == self._planned
 
 
-class SmrFbftAdapter(ScenarioAdapter):
-    """The full SMR stack (replicas + clients) over FBFT instances.
+class SmrAdapter(ScenarioAdapter):
+    """The full SMR stack (replicas + clients) over a consensus backend.
 
     Replicas are pids ``0..n-1``; clients ``n..n+clients-1``.  The spec's
-    workload section is mandatory; its commands drive the KV store.
+    workload section is mandatory; its commands drive the KV store.  The
+    replication engine (batching, pipelining) is tuned through
+    ``protocol_options``: ``batch_size``, ``batch_timeout`` and
+    ``pipeline_depth`` (see :class:`~repro.core.config.ReplicationConfig`).
     """
 
-    key = "fbft-smr"
     byzantine = True
-    claimed_fast_delays = 2
     behaviors = ("silent", "crash_after")
-    option_names = ("base_timeout",)
+    option_names = (
+        "base_timeout",
+        "batch_size",
+        "batch_timeout",
+        "pipeline_depth",
+    )
 
-    def min_n(self, f: int, t: int) -> int:
-        return min_processes_fast_bft(f, t)
+    # -- backend hooks --------------------------------------------------
+
+    def backend(
+        self, spec: ScenarioSpec, options: Dict[str, Any]
+    ) -> Tuple[Any, Optional[KeyRegistry], Any]:
+        """Return (config, registry-or-None, instance_factory)."""
+        raise NotImplementedError
+
+    def _replication(self, options: Dict[str, Any]) -> ReplicationConfig:
+        return ReplicationConfig(
+            batch_size=int(options.get("batch_size", 8)),
+            batch_timeout=float(options.get("batch_timeout", 0.0)),
+            pipeline_depth=int(options.get("pipeline_depth", 4)),
+        )
 
     def build(self, spec: ScenarioSpec) -> BuiltScenario:
         options = _check_options(spec, self.option_names)
         if spec.workload is None:
-            raise ScenarioError("protocol 'fbft-smr' requires a workload spec")
-        t = spec.t if spec.t is not None else spec.f
-        config = ProtocolConfig(n=spec.n, f=spec.f, t=t)
-        registry = KeyRegistry.for_processes(config.process_ids)
-        factory = fbft_instance_factory(
-            config, registry, base_timeout=options.get("base_timeout", 12.0)
-        )
+            raise ScenarioError(
+                f"protocol {self.key!r} requires a workload spec"
+            )
+        config, registry, factory = self.backend(spec, options)
+        replication = self._replication(options)
         roles = {role.pid: role for role in spec.byzantine}
         processes: List[Process] = []
         replicas: List[SMRReplica] = []
@@ -500,11 +517,14 @@ class SmrFbftAdapter(ScenarioAdapter):
                 role = roles[pid]
                 if role.behavior != "silent":
                     raise ScenarioError(
-                        "fbft-smr supports only 'silent' Byzantine replicas"
+                        f"{self.key} supports only 'silent' Byzantine replicas"
                     )
                 processes.append(SilentProcess(pid))
                 continue
-            replica = SMRReplica(pid, spec.n, spec.f, KVStore(), factory)
+            replica = SMRReplica(
+                pid, spec.n, spec.f, KVStore(), factory,
+                replication=replication,
+            )
             replicas.append(replica)
             processes.append(replica)
         workload = spec.workload
@@ -520,7 +540,10 @@ class SmrFbftAdapter(ScenarioAdapter):
                     gap=workload.rate, batch=workload.batch_size,
                 )
             else:
-                client = SMRClient(pid=pid, replica_pids=range(spec.n), f=spec.f)
+                client = SMRClient(
+                    pid=pid, replica_pids=range(spec.n), f=spec.f,
+                    window=workload.window,
+                )
             client.load_workload(commands, closed_loop=workload.rate <= 0)
             clients.append(client)
             processes.append(client)
@@ -539,6 +562,39 @@ class SmrFbftAdapter(ScenarioAdapter):
         )
 
 
+class SmrFbftAdapter(SmrAdapter):
+    """SMR over this paper's (generalized) FBFT instances."""
+
+    key = "fbft-smr"
+    claimed_fast_delays = 2
+
+    def min_n(self, f: int, t: int) -> int:
+        return min_processes_fast_bft(f, t)
+
+    def backend(self, spec, options):
+        t = spec.t if spec.t is not None else spec.f
+        return smr_backend(
+            "fbft", spec.n, spec.f, t=t,
+            base_timeout=options.get("base_timeout", 12.0),
+        )
+
+
+class SmrPbftAdapter(SmrAdapter):
+    """SMR over PBFT instances — the throughput comparison baseline."""
+
+    key = "pbft-smr"
+    claimed_fast_delays = 3
+
+    def min_n(self, f: int, t: int) -> int:
+        return min_processes_pbft(f)
+
+    def backend(self, spec, options):
+        return smr_backend(
+            "pbft", spec.n, spec.f,
+            base_timeout=options.get("base_timeout", 12.0),
+        )
+
+
 ADAPTERS: Dict[str, ScenarioAdapter] = {
     adapter.key: adapter
     for adapter in (
@@ -548,5 +604,6 @@ ADAPTERS: Dict[str, ScenarioAdapter] = {
         PaxosAdapter(),
         OptimisticAdapter(),
         SmrFbftAdapter(),
+        SmrPbftAdapter(),
     )
 }

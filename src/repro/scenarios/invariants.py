@@ -105,12 +105,14 @@ def check_validity(
         return InvariantVerdict("validity", None, "no allowed-value set declared")
     if built.mode == "smr":
         from ..smr.kvstore import NOOP
+        from ..smr.replica import commands_of
 
         allowed = set(built.allowed_values) | {NOOP}
         executed = {
             command
             for replica in built.replicas
-            for _slot, command in replica.log
+            for _slot, value in replica.log
+            for command in commands_of(value)
         }
         rogue = executed - allowed
         if rogue:
@@ -127,6 +129,37 @@ def check_validity(
             "validity", False, f"decided values outside input set: {rogue!r}"
         )
     return InvariantVerdict("validity", True, "decisions drawn from the input set")
+
+
+def check_no_duplicate_execution(
+    spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster
+) -> InvariantVerdict:
+    """No replica applies the same ``(client, request_id)`` twice.
+
+    Each replica records every state-machine application tagged by the
+    request key (gossip-adopted work included); a duplicate tag means a
+    re-proposed command slipped past execution dedup — the
+    double-execution bug class this oracle exists to catch.
+    """
+    name = "no-duplicate-execution"
+    if built.mode != "smr":
+        return InvariantVerdict(name, None, "consensus mode has no execution")
+    duplicates: Dict[int, List[Tuple[Any, ...]]] = {}
+    total = 0
+    for replica in built.replicas:
+        total += len(replica.applied_keys)
+        seen: set = set()
+        for key in replica.applied_keys:
+            if key in seen:
+                duplicates.setdefault(replica.pid, []).append(key)
+            seen.add(key)
+    if duplicates:
+        return InvariantVerdict(
+            name, False, f"requests applied twice: {duplicates!r}"
+        )
+    return InvariantVerdict(
+        name, True, f"{total} applications across replicas, all distinct"
+    )
 
 
 def check_certificates(
@@ -235,6 +268,7 @@ def evaluate_invariants(
     return (
         check_agreement(spec, built, cluster, safety_violation),
         check_validity(spec, built, cluster),
+        check_no_duplicate_execution(spec, built, cluster),
         check_certificates(spec, built, cluster),
         check_fast_path(spec, built, cluster, decided, decision_time),
         check_liveness(spec, built, cluster, decided, decision_time, safety_violation),

@@ -225,16 +225,18 @@ class WorkloadSpec:
     """Client workload for SMR scenarios.
 
     ``rate`` is the inter-batch gap in simulated time; ``0`` means
-    closed-loop (next command on completion of the previous one).
-    ``batch_size`` commands are submitted per burst in open-loop mode.
-    Keys are drawn from ``key_space`` uniformly, except a ``hot_fraction``
-    of commands that all hit key 0 (a skewed / contended workload).
+    closed-loop (up to ``window`` commands in flight, refilled on
+    completion).  ``batch_size`` commands are submitted per burst in
+    open-loop mode.  Keys are drawn from ``key_space`` uniformly, except
+    a ``hot_fraction`` of commands that all hit key 0 (a skewed /
+    contended workload).
     """
 
     clients: int = 1
     requests_per_client: int = 3
     rate: float = 0.0
     batch_size: int = 1
+    window: int = 1
     key_space: int = 8
     hot_fraction: float = 0.0
     seed: int = 0
@@ -244,6 +246,8 @@ class WorkloadSpec:
             raise ScenarioError("workload needs >= 1 client and >= 1 request")
         if self.batch_size < 1:
             raise ScenarioError("batch_size must be >= 1")
+        if self.window < 1:
+            raise ScenarioError("window must be >= 1")
         if not (0.0 <= self.hot_fraction <= 1.0):
             raise ScenarioError("hot_fraction must be in [0, 1]")
         if self.key_space < 1:

@@ -10,7 +10,7 @@ which makes it easy to wrap a process to inject Byzantine behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .events import EventHandle, Simulator
 from .network import Network, ProcessId
@@ -42,6 +42,9 @@ class ProcessContext:
         self.network = network
         self._timers: Dict[str, Timer] = {}
         self._halted = False
+        #: Derived contexts (e.g. per-slot contexts of an SMR replica)
+        #: whose crash fate is tied to this one; see :meth:`adopt`.
+        self._children: List["ProcessContext"] = []
 
     # ------------------------------------------------------------------
     @property
@@ -52,12 +55,26 @@ class ProcessContext:
     def halted(self) -> bool:
         return self._halted
 
+    def adopt(self, child: "ProcessContext") -> None:
+        """Tie ``child``'s halt/resume fate to this context.
+
+        A process that multiplexes sub-machines (each with its own timer
+        namespace) must register their contexts here, otherwise a crash
+        of the parent would leave the children's timers firing — exactly
+        the crash-model violation :meth:`halt` exists to rule out.
+        """
+        self._children.append(child)
+        if self._halted:
+            child.halt()
+
     def halt(self) -> None:
         """Stop all activity from this process (crash)."""
         self._halted = True
         for timer in self._timers.values():
             timer.cancel()
         self._timers.clear()
+        for child in self._children:
+            child.halt()
 
     def resume(self) -> None:
         """Undo a halt (crash-recovery).
@@ -66,9 +83,11 @@ class ProcessContext:
         delivered while down and every timer armed before the crash —
         exactly the crash-recovery model scenario schedules need.  Waking
         the process up again (e.g. re-arming its timers) is the caller's
-        business.
+        business.  Adopted child contexts resume alongside the parent.
         """
         self._halted = False
+        for child in self._children:
+            child.resume()
 
     # ------------------------------------------------------------------
     def send(self, dst: ProcessId, payload: Any) -> None:

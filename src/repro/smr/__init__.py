@@ -1,29 +1,36 @@
 """State machine replication built on the consensus core (Section 1.1)."""
 
+from .backends import SMR_BACKENDS, smr_backend
 from .client import CommandOutcome, SMRClient
 from .kvstore import NOOP, AppendLog, Command, Counter, KVStore, StateMachine
 from .replica import (
+    Batch,
     Reply,
     Request,
     SlotDecided,
     SlotMessage,
     SMRReplica,
+    commands_of,
     fbft_instance_factory,
 )
 
 __all__ = [
     "AppendLog",
+    "Batch",
     "Command",
     "CommandOutcome",
     "Counter",
     "KVStore",
     "NOOP",
     "Reply",
+    "SMR_BACKENDS",
+    "smr_backend",
     "Request",
     "SMRClient",
     "SMRReplica",
     "SlotDecided",
     "SlotMessage",
     "StateMachine",
+    "commands_of",
     "fbft_instance_factory",
 ]

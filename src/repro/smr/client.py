@@ -6,6 +6,10 @@ every replica (so any current or future leader learns it), then waits for
 most ``f`` replicas are Byzantine, so at least one of those replies comes
 from a correct replica that really executed the command.  Unanswered
 requests are retransmitted with exponential backoff.
+
+Closed-loop clients keep up to ``window`` requests in flight (the knob
+the throughput harness turns to saturate the replicas' batches and
+pipeline); open-loop clients submit everything immediately at start.
 """
 
 from __future__ import annotations
@@ -51,18 +55,22 @@ class SMRClient(Process):
         replica_pids: Sequence[int],
         f: int,
         retry_timeout: float = 40.0,
+        window: int = 1,
         on_complete: Optional[Callable[[CommandOutcome], None]] = None,
     ) -> None:
         super().__init__(pid)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
         self.replica_pids = tuple(replica_pids)
         self.f = f
         self.retry_timeout = retry_timeout
+        self.window = window
         self.on_complete = on_complete
         self._next_request_id = 0
         self.outcomes: Dict[int, CommandOutcome] = {}
         self._reply_votes: Dict[int, Dict[Tuple[Any, int], Set[int]]] = {}
         self._workload: List[Command] = []
-        self._inflight: Optional[int] = None
+        self._inflight: Set[int] = set()
         self._closed_loop = True
 
     # ------------------------------------------------------------------
@@ -70,7 +78,7 @@ class SMRClient(Process):
     # ------------------------------------------------------------------
 
     def load_workload(self, commands: Sequence[Command], closed_loop: bool = True) -> None:
-        """Queue commands; closed-loop sends the next one on completion,
+        """Queue commands; closed-loop keeps up to ``window`` in flight,
         open-loop submits everything immediately at start."""
         self._workload = list(commands)
         self._closed_loop = closed_loop
@@ -79,14 +87,14 @@ class SMRClient(Process):
         if not self._workload:
             return
         if self._closed_loop:
-            self._submit_next()
+            self._fill_window()
         else:
             while self._workload:
                 self.submit(self._workload.pop(0))
 
-    def _submit_next(self) -> None:
-        if self._workload:
-            self._inflight = self.submit(self._workload.pop(0))
+    def _fill_window(self) -> None:
+        while self._workload and len(self._inflight) < self.window:
+            self._inflight.add(self.submit(self._workload.pop(0)))
 
     # ------------------------------------------------------------------
     # Submission
@@ -138,10 +146,11 @@ class SMRClient(Process):
             outcome.result = payload.result
             outcome.slot = payload.slot
             self.ctx.cancel_timer(f"retry-{payload.request_id}")
+            self._inflight.discard(payload.request_id)
             if self.on_complete is not None:
                 self.on_complete(outcome)
-            if self._closed_loop and self._inflight == payload.request_id:
-                self._submit_next()
+            if self._closed_loop:
+                self._fill_window()
 
     # ------------------------------------------------------------------
     @property

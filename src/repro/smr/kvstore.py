@@ -71,10 +71,12 @@ class AppendLog:
 
     def __init__(self) -> None:
         self.entries: List[Command] = []
+        self.applied_count = 0
 
     def apply(self, command: Command) -> Any:
         if command == NOOP:
             return None
+        self.applied_count += 1
         self.entries.append(command)
         return len(self.entries) - 1
 
@@ -84,9 +86,12 @@ class Counter:
 
     def __init__(self) -> None:
         self.value = 0
+        self.applied_count = 0
 
     def apply(self, command: Command) -> Any:
         op = command[0]
+        if op != "noop":
+            self.applied_count += 1
         if op == "noop":
             return None
         if op == "inc":

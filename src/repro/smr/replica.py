@@ -6,18 +6,31 @@ wrapping every protocol message in a :class:`SlotMessage`.  The design:
 
 * clients broadcast :class:`Request` messages; every replica queues them
   (deduplicating by ``(client, request_id)``);
-* a replica starts the consensus instance for the lowest undecided slot
-  as soon as it has pending commands; the instance's input is the
-  replica's oldest pending command (``NOOP`` if none), so whoever ends up
-  leading the slot — including after view changes when the original
-  leader crashed — proposes real work;
-* decisions are applied to the state machine strictly in slot order and
-  answered to clients with :class:`Reply`; a client accepts a result once
-  ``f + 1`` replicas agree on it;
+* slots decide :class:`Batch` values — ordered tuples of
+  ``(client, request_id, command)`` entries.  A replica packs up to
+  ``batch_size`` pending commands into each proposal and may hold an
+  under-full batch open for ``batch_timeout`` (see
+  :class:`~repro.core.config.ReplicationConfig`); the instance's input is
+  the replica's own batch of oldest unassigned commands (``NOOP`` if
+  none), so whoever ends up leading the slot — including after view
+  changes when the original leader crashed — proposes real work;
+* up to ``pipeline_depth`` consensus instances run concurrently;
+  decisions are applied to the state machine strictly in slot order
+  regardless, and answered to clients with :class:`Reply`; a client
+  accepts a result once ``f + 1`` replicas agree on it;
 * replicas gossip :class:`SlotDecided` notifications; ``f + 1`` matching
   notifications are adopted as a decision (at most ``f`` Byzantine, so at
   least one sender is correct), which lets lagging replicas catch up and
   lets instances stop their pacemakers after deciding.
+
+Execution deduplicates by ``(client, request_id)``: a command adopted
+via gossip before its :class:`Request` arrived is recorded just like a
+locally known one, so the late request is answered from the result cache
+instead of being re-proposed (and the state machine never applies the
+same request twice).  Crashing a replica halts the per-slot contexts and
+their timers along with the parent (see
+:meth:`~repro.sim.process.ProcessContext.adopt`), matching the
+crash-recovery model of the scenario engine.
 
 The SMR layer is deliberately protocol-agnostic: it accepts any factory
 producing a :class:`~repro.core.protocol.DecidingProcess`-compatible
@@ -29,20 +42,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..core.config import ProtocolConfig
+from ..core.config import ProtocolConfig, ReplicationConfig
 from ..core.generalized import GeneralizedFBFTProcess
 from ..crypto.keys import KeyRegistry
 from ..sim.process import Process, ProcessContext
 from .kvstore import NOOP, Command, StateMachine
 
 __all__ = [
+    "Batch",
     "Request",
     "Reply",
     "SlotMessage",
     "SlotDecided",
     "SMRReplica",
+    "commands_of",
     "fbft_instance_factory",
 ]
+
+#: The ``(client, request_id)`` identity of one submitted command.
+RequestKey = Tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -65,6 +83,42 @@ class Reply:
 
 
 @dataclass(frozen=True)
+class Batch:
+    """An ordered tuple of commands decided together in one slot.
+
+    Entries carry the submitting client's identity, so a replica that
+    learns a batch through gossip (never having seen the underlying
+    requests) can still reply, cache results and deduplicate.
+    """
+
+    entries: Tuple[Tuple[int, int, Command], ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def commands(self) -> Tuple[Command, ...]:
+        return tuple(command for _, _, command in self.entries)
+
+    @property
+    def keys(self) -> Tuple[RequestKey, ...]:
+        return tuple((client, rid) for client, rid, _ in self.entries)
+
+    def signing_fields(self) -> Tuple[Any, ...]:
+        return (self.entries,)
+
+
+def commands_of(value: Any) -> Tuple[Command, ...]:
+    """The commands carried by a decided slot value (batch or legacy bare
+    command); ``NOOP`` slots carry none."""
+    if isinstance(value, Batch):
+        return value.commands
+    if value == NOOP:
+        return ()
+    return (value,)
+
+
+@dataclass(frozen=True)
 class SlotMessage:
     """A consensus protocol message scoped to one log slot."""
 
@@ -84,13 +138,16 @@ class _SlotContext(ProcessContext):
     """Process context adapter that scopes one consensus instance to a slot.
 
     Outgoing payloads are wrapped in :class:`SlotMessage`; timer names are
-    prefixed so instances do not trample each other's timers.
+    prefixed so instances do not trample each other's timers.  The parent
+    context adopts each slot context, so a crash of the replica halts the
+    slot's timers too (and recovery resumes them both).
     """
 
     def __init__(self, slot: int, parent: ProcessContext) -> None:
         super().__init__(parent.pid, parent.sim, parent.network)
         self._slot = slot
         self._parent = parent
+        parent.adopt(self)
 
     def send(self, dst: int, payload: Any) -> None:
         if self.halted or self._parent.halted:
@@ -138,7 +195,7 @@ def fbft_instance_factory(
 
 
 class SMRReplica(Process):
-    """One replica of the replicated state machine."""
+    """One replica of the batched, pipelined replicated state machine."""
 
     def __init__(
         self,
@@ -147,30 +204,55 @@ class SMRReplica(Process):
         f: int,
         state_machine: StateMachine,
         instance_factory: InstanceFactory,
-        max_slots: int = 10_000,
+        replication: Optional[ReplicationConfig] = None,
+        max_slots: Optional[int] = None,
     ) -> None:
         super().__init__(pid)
         self.n = n
         self.f = f
         self.state_machine = state_machine
         self.instance_factory = instance_factory
-        self.max_slots = max_slots
+        self.replication = replication or ReplicationConfig()
+        if max_slots is not None:
+            from dataclasses import replace
+
+            self.replication = replace(self.replication, max_slots=max_slots)
         self._instances: Dict[int, Any] = {}
         self._pending: List[Request] = []
-        self._seen_requests: Set[Tuple[int, int]] = set()
-        self._decided: Dict[int, Command] = {}
+        self._seen_requests: Set[RequestKey] = set()
+        self._decided: Dict[int, Any] = {}
         self._decide_gossip: Dict[int, Dict[Any, Set[int]]] = {}
         self._executed_upto = -1  # highest contiguously applied slot
-        self._results: Dict[Tuple[int, int], Tuple[Any, int]] = {}
-        self._executed_requests: Set[Tuple[int, int]] = set()
+        self._results: Dict[RequestKey, Tuple[Any, int]] = {}
+        self._executed_requests: Set[RequestKey] = set()
+        #: Legacy bare commands applied without a known request: command ->
+        #: (result, slot).  A late request for one of these adopts the
+        #: recorded execution instead of re-proposing the command.  Bare
+        #: values carry no submitter identity, so this dedup is by command
+        #: key; a deployment must not mix bare and Batch values for the
+        #: same logical request (the engine itself only proposes Batches).
+        self._anon_executed: Dict[Command, Tuple[Any, int]] = {}
+        #: slot -> request keys packed into OUR input batch for that slot;
+        #: entries for undecided slots keep those requests out of newer
+        #: proposals so concurrent slots carry disjoint work.
+        self._assigned: Dict[int, Tuple[RequestKey, ...]] = {}
+        self._batch_deadline: Optional[float] = None
+        #: Every state-machine application, in order, tagged by request key
+        #: (or a unique anonymous token) — the no-duplicate-execution
+        #: oracle's evidence.
+        self.applied_keys: List[Tuple[Any, ...]] = []
 
     # ------------------------------------------------------------------
     # Introspection (used by tests and examples)
     # ------------------------------------------------------------------
 
     @property
-    def log(self) -> Tuple[Tuple[int, Command], ...]:
-        """Decided (slot, command) pairs in slot order."""
+    def max_slots(self) -> int:
+        return self.replication.max_slots
+
+    @property
+    def log(self) -> Tuple[Tuple[int, Any], ...]:
+        """Decided (slot, value) pairs in slot order."""
         return tuple(sorted(self._decided.items()))
 
     @property
@@ -181,8 +263,31 @@ class SMRReplica(Process):
     def pending_count(self) -> int:
         return len(self._pending)
 
-    def decided_command(self, slot: int) -> Optional[Command]:
+    @property
+    def inflight_instances(self) -> int:
+        """Consensus instances currently running for undecided slots."""
+        return sum(1 for slot in self._instances if slot not in self._decided)
+
+    def decided_value(self, slot: int) -> Optional[Any]:
         return self._decided.get(slot)
+
+    def decided_command(self, slot: int) -> Optional[Any]:
+        """Backward-compatible view: the decided value of ``slot``."""
+        return self._decided.get(slot)
+
+    def slot_commands(self, slot: int) -> Tuple[Command, ...]:
+        """The commands a decided slot carries (empty if undecided/noop)."""
+        value = self._decided.get(slot)
+        return () if value is None else commands_of(value)
+
+    @property
+    def executed_command_log(self) -> Tuple[Command, ...]:
+        """All commands in decided slots, in slot-then-batch order."""
+        return tuple(
+            command
+            for _slot, value in self.log
+            for command in commands_of(value)
+        )
 
     # ------------------------------------------------------------------
     # Message handling
@@ -213,8 +318,26 @@ class SMRReplica(Process):
                 )
             return
         self._seen_requests.add(key)
+        if request.command in self._anon_executed:
+            # The command was already executed via gossip adoption of a
+            # legacy bare-command slot: adopt that execution rather than
+            # re-proposing (which would apply it twice and starve the
+            # client of this replica's reply).
+            result, slot = self._anon_executed.pop(request.command)
+            self._executed_requests.add(key)
+            self._results[key] = (result, slot)
+            self.send(
+                request.client,
+                Reply(
+                    client=request.client,
+                    request_id=request.request_id,
+                    result=result,
+                    slot=slot,
+                ),
+            )
+            return
         self._pending.append(request)
-        self._maybe_start_next_slot()
+        self._schedule_proposal_flush()
 
     def _handle_slot_message(self, sender: int, message: SlotMessage) -> None:
         instance = self._ensure_instance(message.slot)
@@ -234,18 +357,86 @@ class SMRReplica(Process):
     # Slot lifecycle
     # ------------------------------------------------------------------
 
-    def _next_undecided_slot(self) -> int:
+    def _unassigned_pending(self) -> List[Request]:
+        """Pending requests not packed into any undecided slot's proposal
+        and not already sitting in a decided-but-unexecuted batch."""
+        assigned: Set[RequestKey] = set()
+        for slot, keys in self._assigned.items():
+            if slot not in self._decided:
+                assigned.update(keys)
+        # A slot adopted out of order (e.g. via gossip) is decided but not
+        # yet executed, so its requests are still in _pending; re-proposing
+        # them would burn a whole consensus instance on duplicates.
+        for slot, value in self._decided.items():
+            if slot > self._executed_upto and isinstance(value, Batch):
+                assigned.update(value.keys)
+        return [
+            r for r in self._pending if (r.client, r.request_id) not in assigned
+        ]
+
+    def _next_unstarted_slot(self) -> int:
         slot = self._executed_upto + 1
-        while slot in self._decided:
+        while slot in self._decided or slot in self._instances:
             slot += 1
         return slot
 
-    def _maybe_start_next_slot(self) -> None:
-        """Start the consensus instance for the lowest undecided slot."""
-        if not self._pending:
-            return
-        slot = self._next_undecided_slot()
-        self._ensure_instance(slot)
+    def _make_batch(self, requests: List[Request], slot: int) -> Batch:
+        self._assigned[slot] = tuple(
+            (r.client, r.request_id) for r in requests
+        )
+        return Batch(
+            entries=tuple(
+                (r.client, r.request_id, r.command) for r in requests
+            )
+        )
+
+    def _schedule_proposal_flush(self) -> None:
+        """Coalesce same-instant request arrivals into one proposal round.
+
+        Requests delivered at the same simulated time are separate events;
+        proposing from each handler would scatter them over single-command
+        slots.  A zero-delay timer runs after every delivery scheduled for
+        this instant, so one flush sees the whole burst (and a crash
+        cancels it like any other timer).
+        """
+        if not self.ctx.has_timer("proposal-flush"):
+            self.ctx.set_timer("proposal-flush", 0.0, self._maybe_start_slots)
+
+    def _maybe_start_slots(self) -> None:
+        """Open consensus instances for pending work, up to the pipeline
+        depth, packing up to ``batch_size`` commands per slot."""
+        cfg = self.replication
+        while True:
+            backlog = self._unassigned_pending()
+            if not backlog:
+                self._batch_deadline = None
+                return
+            if self.inflight_instances >= cfg.pipeline_depth:
+                return
+            if len(backlog) < cfg.batch_size and cfg.batch_timeout > 0:
+                # Hold the under-full batch open until the deadline.
+                if self._batch_deadline is None:
+                    self._batch_deadline = self.now + cfg.batch_timeout
+                    self.ctx.set_timer(
+                        "batch-flush", cfg.batch_timeout, self._maybe_start_slots
+                    )
+                    return
+                if self.now < self._batch_deadline:
+                    if not self.ctx.has_timer("batch-flush"):
+                        # A crash wiped the flush timer but left the
+                        # deadline; re-arm or the batch never closes.
+                        self.ctx.set_timer(
+                            "batch-flush",
+                            self._batch_deadline - self.now,
+                            self._maybe_start_slots,
+                        )
+                    return
+            if self._batch_deadline is not None:
+                self._batch_deadline = None
+                self.ctx.cancel_timer("batch-flush")
+            slot = self._next_unstarted_slot()
+            batch = self._make_batch(backlog[: cfg.batch_size], slot)
+            self._create_instance(slot, batch)
 
     def _ensure_instance(self, slot: int) -> Optional[Any]:
         if slot in self._decided:
@@ -253,9 +444,18 @@ class SMRReplica(Process):
         instance = self._instances.get(slot)
         if instance is not None:
             return instance
-        if slot >= self.max_slots:
-            raise RuntimeError(f"slot {slot} exceeds max_slots={self.max_slots}")
-        input_value = self._pending[0].command if self._pending else NOOP
+        backlog = self._unassigned_pending()[: self.replication.batch_size]
+        if backlog:
+            input_value: Any = self._make_batch(backlog, slot)
+        else:
+            input_value = NOOP
+        return self._create_instance(slot, input_value)
+
+    def _create_instance(self, slot: int, input_value: Any) -> Any:
+        if slot >= self.replication.max_slots:
+            raise RuntimeError(
+                f"slot {slot} exceeds max_slots={self.replication.max_slots}"
+            )
         instance = self.instance_factory(self.pid, slot, input_value)
         ctx = _SlotContext(slot, self.ctx)
         instance.attach(ctx)
@@ -264,33 +464,78 @@ class SMRReplica(Process):
         instance._start()
         return instance
 
-    def _on_slot_decided(self, slot: int, value: Command) -> None:
+    def _on_slot_decided(self, slot: int, value: Any) -> None:
         self._adopt_decision(slot, value)
 
-    def _adopt_decision(self, slot: int, value: Command) -> None:
+    def _adopt_decision(self, slot: int, value: Any) -> None:
         if slot in self._decided:
             return
         self._decided[slot] = value
+        self._assigned.pop(slot, None)
         instance = self._instances.get(slot)
         if instance is not None and hasattr(instance, "pacemaker"):
             instance.pacemaker.stop()
         self.broadcast(SlotDecided(slot=slot, value=value), include_self=False)
         self._execute_ready()
-        self._maybe_start_next_slot()
+        # An out-of-order decision (gossip, or a slot number steered far
+        # ahead by a Byzantine sender) leaves gap slots below it: start
+        # instances for them, or execution would never reach this slot —
+        # its requests are parked (excluded from new proposals) and nobody
+        # would ever propose the gaps.
+        for gap in range(self._executed_upto + 1, slot):
+            if gap not in self._decided and gap not in self._instances:
+                self._ensure_instance(gap)
+        self._maybe_start_slots()
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
     def _execute_ready(self) -> None:
-        """Apply decided commands strictly in slot order."""
+        """Apply decided values strictly in slot order."""
         while (self._executed_upto + 1) in self._decided:
             slot = self._executed_upto + 1
-            command = self._decided[slot]
+            value = self._decided[slot]
             self._executed_upto = slot
-            self._execute(slot, command)
+            self._execute(slot, value)
 
-    def _execute(self, slot: int, command: Command) -> None:
+    def _execute(self, slot: int, value: Any) -> None:
+        if isinstance(value, Batch):
+            self._execute_batch(slot, value)
+            return
+        if value == NOOP:
+            return
+        self._execute_bare(slot, value)
+
+    def _execute_batch(self, slot: int, batch: Batch) -> None:
+        keys = set(batch.keys)
+        self._pending = [
+            r for r in self._pending if (r.client, r.request_id) not in keys
+        ]
+        for client, request_id, command in batch.entries:
+            key = (client, request_id)
+            # The batch carries the submitter's identity, so even a batch
+            # adopted through gossip (request never seen) is recorded: a
+            # late request is then a cache hit, not a re-proposal.
+            self._seen_requests.add(key)
+            if key in self._executed_requests:
+                continue  # duplicate decision of a re-proposed command
+            self._executed_requests.add(key)
+            result = self.state_machine.apply(command)
+            self.applied_keys.append(key)
+            self._results[key] = (result, slot)
+            self.send(
+                client,
+                Reply(
+                    client=client,
+                    request_id=request_id,
+                    result=result,
+                    slot=slot,
+                ),
+            )
+
+    def _execute_bare(self, slot: int, command: Command) -> None:
+        """Legacy path: a slot decided a bare command (no identity)."""
         request = self._find_request(command)
         if request is not None:
             key = (request.client, request.request_id)
@@ -301,6 +546,7 @@ class SMRReplica(Process):
                 return  # duplicate decision of a re-proposed command
             self._executed_requests.add(key)
             result = self.state_machine.apply(command)
+            self.applied_keys.append(key)
             self._results[key] = (result, slot)
             self.send(
                 request.client,
@@ -311,9 +557,13 @@ class SMRReplica(Process):
                     slot=slot,
                 ),
             )
-        elif command != NOOP:
-            # A command from a client we never heard from directly.
-            self.state_machine.apply(command)
+        else:
+            # A command from a client we never heard from directly; record
+            # it so the late request adopts this execution (dedup by
+            # command key) instead of re-proposing.
+            result = self.state_machine.apply(command)
+            self.applied_keys.append(("anon", slot))
+            self._anon_executed[command] = (result, slot)
 
     def _find_request(self, command: Command) -> Optional[Request]:
         for request in self._pending:

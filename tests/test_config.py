@@ -1,8 +1,30 @@
-"""Unit tests for ProtocolConfig."""
+"""Unit tests for ProtocolConfig and ReplicationConfig."""
 
 import pytest
 
-from repro.core.config import ProtocolConfig
+from repro.core.config import ProtocolConfig, ReplicationConfig
+
+
+class TestReplicationConfig:
+    def test_defaults_valid(self):
+        config = ReplicationConfig()
+        assert config.batch_size >= 1
+        assert config.pipeline_depth >= 1
+        assert config.batch_timeout == 0.0
+        assert "batch=" in config.describe()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0},
+            {"batch_timeout": -1.0},
+            {"pipeline_depth": 0},
+            {"max_slots": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ReplicationConfig(**kwargs)
 
 
 class TestValidation:

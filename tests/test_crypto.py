@@ -53,6 +53,42 @@ class TestSignVerify:
         assert not b.verify(sig, "payload")
 
 
+class TestVerificationMemoCache:
+    def test_repeat_verification_hits_cache(self, registry):
+        payload = ("ack", "x", 3)
+        sig = registry.signer(2).sign(payload)
+        assert registry.verify(sig, payload)
+        misses = registry.cache_misses
+        for _ in range(5):
+            assert registry.verify(sig, payload)
+        assert registry.cache_hits >= 5
+        assert registry.cache_misses == misses  # no HMAC recomputation
+
+    def test_cache_hit_with_wrong_payload_still_fails(self, registry):
+        """A cached (signer, digest) must not leak validity to a different
+        payload — the digest binds exactly one message."""
+        sig = registry.signer(1).sign(("propose", "x", 1))
+        assert registry.verify(sig, ("propose", "x", 1))  # cached
+        assert not registry.verify(sig, ("propose", "y", 1))
+        assert not registry.verify(sig, ("propose", "x", 2))
+
+    def test_failed_verifications_not_cached(self, registry):
+        sig = registry.signer(1).sign("payload")
+        forged = Signature(signer=2, digest=sig.digest)
+        before = registry.cache_hits
+        assert not registry.verify(forged, "payload")
+        assert not registry.verify(forged, "payload")
+        assert registry.cache_hits == before
+
+    def test_cache_limit_resets_instead_of_growing(self, registry):
+        registry_limit = KeyRegistry.for_processes(range(2))
+        registry_limit.CACHE_LIMIT = 4
+        for i in range(10):
+            sig = registry_limit.signer(0).sign(("p", i))
+            assert registry_limit.verify(sig, ("p", i))
+        assert len(registry_limit._verify_cache) <= 4
+
+
 class TestRegistry:
     def test_process_ids_sorted(self):
         reg = KeyRegistry.for_processes([3, 1, 2])

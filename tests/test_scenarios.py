@@ -180,6 +180,44 @@ class TestCanonicalLibrary:
         assert result.completed_requests == result.total_requests == 8
         assert result.applied_slots >= 1
 
+    def test_smr_crash_recovery_mid_slot(self):
+        """A replica crashed mid-slot and recovered later: nothing executes
+        twice, no slot timer fires while down, and the client's workload
+        drains through the live majority."""
+        result = run_scenario(get_scenario("smr-crash-recovery"))
+        assert result.ok, [str(v) for v in result.failures]
+        assert result.completed_requests == result.total_requests == 6
+        dedup = next(
+            v for v in result.verdicts if v.name == "no-duplicate-execution"
+        )
+        assert dedup.passed is True
+
+    def test_throughput_family_batching_beats_seed_config(self):
+        """Identical client load: the batched+pipelined engine drains it in
+        less simulated time over fewer slots than the single-slot seed."""
+        seed = run_scenario(get_scenario("smr-throughput-seed"))
+        batched = run_scenario(get_scenario("smr-throughput-batched"))
+        assert seed.ok and batched.ok
+        assert seed.completed_requests == batched.completed_requests == 16
+        assert batched.decision_time < seed.decision_time
+        assert batched.applied_slots < seed.applied_slots
+
+    def test_throughput_family_pbft_backend(self):
+        """The pbft-smr adapter runs the same engine over PBFT instances;
+        its extra message delay shows up as a slower drain."""
+        pbft = run_scenario(get_scenario("smr-throughput-pbft"))
+        fbft = run_scenario(get_scenario("smr-throughput-batched"))
+        assert pbft.ok
+        assert pbft.completed_requests == 16
+        assert pbft.decision_time > fbft.decision_time
+
+    def test_no_duplicate_execution_oracle_not_applicable_to_consensus(self):
+        result = run_scenario(get_scenario("fast-path-clean"))
+        dedup = next(
+            v for v in result.verdicts if v.name == "no-duplicate-execution"
+        )
+        assert dedup.passed is None
+
     def test_bytes_accounted(self):
         result = run_scenario(get_scenario("fast-path-clean"))
         assert result.bytes_sent > 0

@@ -176,6 +176,51 @@ class TestTimers:
         assert not proc.fired
 
 
+class TestChildContexts:
+    """Adopted child contexts (e.g. per-slot contexts) share the parent's
+    crash fate: halt cancels their timers, resume revives them both."""
+
+    def _parent_and_child(self):
+        from repro.sim.process import ProcessContext
+
+        proc = Echo(0)
+        cluster = Cluster([proc])
+        child = ProcessContext(proc.pid, cluster.sim, cluster.network)
+        proc.ctx.adopt(child)
+        return cluster, proc, child
+
+    def test_halt_propagates_to_children(self):
+        cluster, proc, child = self._parent_and_child()
+        child.set_timer("tick", 5.0, lambda: None)
+        proc.crash()
+        assert child.halted
+        assert not child._timers
+
+    def test_resume_propagates_to_children(self):
+        cluster, proc, child = self._parent_and_child()
+        proc.crash()
+        proc.recover()
+        assert not child.halted
+
+    def test_adopting_into_a_halted_parent_halts_the_child(self):
+        from repro.sim.process import ProcessContext
+
+        proc = Echo(0)
+        cluster = Cluster([proc])
+        proc.crash()
+        child = ProcessContext(proc.pid, cluster.sim, cluster.network)
+        proc.ctx.adopt(child)
+        assert child.halted
+
+    def test_child_timer_does_not_fire_while_parent_down(self):
+        cluster, proc, child = self._parent_and_child()
+        fired = []
+        child.set_timer("tick", 2.0, lambda: fired.append(cluster.sim.now))
+        proc.crash()
+        cluster.run(until=10.0)
+        assert fired == []
+
+
 class TestCluster:
     def test_duplicate_pids_rejected(self):
         with pytest.raises(ValueError):

@@ -7,6 +7,7 @@ from repro.crypto.keys import KeyRegistry
 from repro.sim.network import SynchronousDelay
 from repro.sim.runner import Cluster
 from repro.smr import (
+    Batch,
     KVStore,
     NOOP,
     Reply,
@@ -15,6 +16,7 @@ from repro.smr import (
     SMRReplica,
     SlotDecided,
     SlotMessage,
+    commands_of,
     fbft_instance_factory,
 )
 
@@ -79,7 +81,7 @@ class TestSlotMultiplexing:
             Request(client=9, request_id=0, command=("set", "x", 1))
         )
         with pytest.raises(RuntimeError, match="max_slots"):
-            replica._maybe_start_next_slot()
+            replica._maybe_start_slots()
 
 
 class TestDecisionGossip:
@@ -116,6 +118,132 @@ class TestDecisionGossip:
         replica._handle_slot_decided(0, SlotDecided(slot=0, value=("set", "b", 2)))
         replica._handle_slot_decided(1, SlotDecided(slot=0, value=("set", "b", 2)))
         assert replica.decided_command(0) == ("set", "a", 1)
+
+
+class TestGossipAdoptionDedupe:
+    """Regression: a request arriving *after* its command was executed via
+    gossip adoption must not be re-proposed and re-executed (the seed
+    engine applied it twice and never replied to the late request)."""
+
+    def _reply_count(self, cluster, client_pid):
+        return sum(
+            1
+            for env in cluster.trace.sends
+            if isinstance(env.payload, Reply) and env.payload.client == client_pid
+        )
+
+    def test_late_request_after_batch_gossip_adoption(self):
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[3]
+        batch = Batch(entries=((4, 7, ("set", "x", 1)),))
+        replica._handle_slot_decided(0, SlotDecided(slot=0, value=batch))
+        replica._handle_slot_decided(1, SlotDecided(slot=0, value=batch))
+        assert replica.state_machine.applied_count == 1
+        replies_before = self._reply_count(cluster, 4)
+        # The request arrives late (e.g. the replica was partitioned).
+        replica._handle_request(Request(client=4, request_id=7, command=("set", "x", 1)))
+        assert replica.pending_count == 0  # not queued for re-proposal
+        assert replica.state_machine.applied_count == 1  # not applied twice
+        cluster.sim.run(until=cluster.sim.now + 5)
+        # The late request is answered from the result cache.
+        assert self._reply_count(cluster, 4) == replies_before + 1
+
+    def test_late_request_after_bare_command_gossip_adoption(self):
+        """Same bug through the legacy bare-command path (no identity in
+        the decided value): dedupe is by command key."""
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[3]
+        replica._handle_slot_decided(0, SlotDecided(slot=0, value=("set", "x", 1)))
+        replica._handle_slot_decided(1, SlotDecided(slot=0, value=("set", "x", 1)))
+        assert replica.state_machine.applied_count == 1
+        replica._handle_request(Request(client=4, request_id=9, command=("set", "x", 1)))
+        assert replica.pending_count == 0
+        assert replica.state_machine.applied_count == 1
+        cluster.sim.run(until=cluster.sim.now + 5)
+        assert self._reply_count(cluster, 4) == 1
+
+    def test_duplicate_batch_decision_executes_once(self):
+        """A command re-proposed into a second slot (view-change race)
+        executes only once; the second decision is a no-op for it."""
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[2]
+        entry = (4, 3, ("set", "y", 2))
+        replica._adopt_decision(0, Batch(entries=(entry,)))
+        replica._adopt_decision(1, Batch(entries=(entry, (4, 5, ("set", "z", 3)))))
+        assert replica.state_machine.applied_count == 2  # y once, z once
+        assert replica.applied_keys == [(4, 3), (4, 5)]
+
+    def test_requests_in_decided_unexecuted_slots_not_reproposed(self):
+        """A batch adopted out of order (slot 1 before slot 0) is decided
+        but unexecuted; its requests must not be packed into a fresh
+        proposal — that would burn a consensus instance on duplicates."""
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[3]
+        replica._handle_request(
+            Request(client=4, request_id=0, command=("set", "x", 1))
+        )
+        batch = Batch(entries=((4, 0, ("set", "x", 1)),))
+        replica._handle_slot_decided(0, SlotDecided(slot=1, value=batch))
+        replica._handle_slot_decided(1, SlotDecided(slot=1, value=batch))
+        assert replica.decided_value(1) == batch
+        assert replica.executed_upto == -1  # slot 0 still missing
+        cluster.sim.run(until=1.0)  # let the proposal flush fire
+        # The gap slot 0 gets a noop filler instance, but the parked
+        # request is not packed into any new proposal.
+        assert not replica._unassigned_pending()
+        assert replica._instances[0].input_value == NOOP
+        assert all(
+            (4, 0) not in getattr(inst.input_value, "keys", ())
+            for inst in replica._instances.values()
+        )
+
+    def test_out_of_order_adoption_fills_gap_slots(self):
+        """Adopting slot 5 with slots 0..4 unstarted must open instances
+        for the gaps — otherwise parked requests (excluded from new
+        proposals) would deadlock execution below the decided slot."""
+        cluster, replicas, client = make_cluster()
+        cluster.start()
+        replica = replicas[3]
+        replica._handle_request(
+            Request(client=4, request_id=0, command=("set", "x", 1))
+        )
+        batch = Batch(entries=((4, 0, ("set", "x", 1)),))
+        replica._handle_slot_decided(0, SlotDecided(slot=5, value=batch))
+        replica._handle_slot_decided(1, SlotDecided(slot=5, value=batch))
+        assert all(s in replica._instances for s in range(5))
+
+    def test_cluster_survives_out_of_order_decision(self):
+        """Full-cluster liveness: all replicas adopt a far-ahead slot
+        before the request's own proposal lands; the gap slots fill with
+        noops, execution reaches the parked batch, the client completes,
+        and the command applies exactly once."""
+        cluster, replicas, client = make_cluster()
+        client.load_workload([("set", "x", 1)])
+        batch = Batch(entries=((4, 0, ("set", "x", 1)),))
+
+        def adopt_everywhere():
+            for replica in replicas:
+                replica._handle_slot_decided(0, SlotDecided(slot=5, value=batch))
+                replica._handle_slot_decided(1, SlotDecided(slot=5, value=batch))
+
+        cluster.start()
+        cluster.sim.schedule(0.5, adopt_everywhere)  # before requests arrive
+        cluster.sim.run_until(lambda: client.all_completed, timeout=2000)
+        assert client.all_completed
+        for replica in replicas:
+            assert replica.applied_keys == [(4, 0)]
+
+    def test_commands_of_unpacks_values(self):
+        assert commands_of(NOOP) == ()
+        assert commands_of(("set", "x", 1)) == (("set", "x", 1),)
+        batch = Batch(entries=((1, 0, ("a",)), (2, 1, ("b",))))
+        assert commands_of(batch) == (("a",), ("b",))
+        assert batch.keys == ((1, 0), (2, 1))
+        assert len(batch) == 2
 
 
 class TestExecution:
