@@ -1,6 +1,17 @@
 """Measurement and reporting utilities for the experiment suite."""
 
 from .comparison import PROTOCOLS, ProtocolSpec, build_protocol
+from .profiling import (
+    PhaseProfiler,
+    broadcast_storm,
+    cprofile_top,
+    event_churn,
+    format_cprofile_rows,
+    load_bench_json,
+    simcore_snapshot,
+    timer_churn,
+    write_bench_json,
+)
 from .metrics import (
     CommonCaseResult,
     Stats,
@@ -15,15 +26,24 @@ from .report import format_markdown_table, format_scenario_results, format_table
 __all__ = [
     "CommonCaseResult",
     "PROTOCOLS",
+    "PhaseProfiler",
     "ProtocolSpec",
     "Stats",
     "ThroughputResult",
+    "broadcast_storm",
     "build_protocol",
+    "cprofile_top",
+    "event_churn",
+    "format_cprofile_rows",
     "format_markdown_table",
     "format_scenario_results",
     "format_table",
+    "load_bench_json",
     "repeat_latency",
     "run_common_case",
     "run_smr_throughput",
+    "simcore_snapshot",
     "smr_instance_factory",
+    "timer_churn",
+    "write_bench_json",
 ]

@@ -21,10 +21,14 @@ from typing import Callable, Dict, List
 from .analysis import (
     PROTOCOLS,
     build_protocol,
+    cprofile_top,
+    format_cprofile_rows,
     format_table,
     repeat_latency,
     run_common_case,
     run_smr_throughput,
+    simcore_snapshot,
+    write_bench_json,
 )
 from .core.quorums import min_processes_fast_bft, quorum_report
 from .lowerbound import run_splice_attack
@@ -153,6 +157,40 @@ def throughput() -> str:
     )
 
 
+def profile(bench_json: str = "") -> str:
+    """E16: simulation-core events/sec + current hot functions."""
+    snapshot = simcore_snapshot(quick=True)
+    rows = [
+        [name, round(events_per_sec)]
+        for name, events_per_sec in snapshot.items()
+    ]
+    table = format_table(["workload", "events/sec"], rows)
+    result, hot = cprofile_top(
+        lambda: run_smr_throughput(
+            backend="fbft", clients=2, requests_per_client=8,
+            window=8, batch_size=8, pipeline_depth=4,
+        ),
+        top=8,
+    )
+    report = (
+        table
+        + "\n\nhot functions (quick batched+pipelined SMR run, by tottime):\n"
+        + format_cprofile_rows(hot)
+    )
+    if bench_json:
+        write_bench_json(
+            bench_json,
+            "E16_simcore",
+            {
+                name: {"fast_events_per_sec": eps}
+                for name, eps in snapshot.items()
+            },
+            meta={"source": "experiments profile", "quick": True},
+        )
+        report += f"\n\nwrote {bench_json}"
+    return report
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "resilience": resilience,
     "latency": latency,
@@ -160,6 +198,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "ablation": ablation,
     "quorums": quorums,
     "throughput": throughput,
+    "profile": profile,
 }
 
 
@@ -178,12 +217,18 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
     )
+    parser.add_argument(
+        "--bench-json", metavar="PATH", default="",
+        help="with the 'profile' experiment: write a BENCH_*.json record here",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name, fn in sorted(EXPERIMENTS.items()):
             print(f"{name:<12} {fn.__doc__.strip().splitlines()[0]}")
         return 0
     names = args.experiments or sorted(EXPERIMENTS)
+    if args.bench_json and "profile" not in names:
+        parser.error("--bench-json only applies to the 'profile' experiment")
     for name in names:
         if name not in EXPERIMENTS:
             parser.error(
@@ -192,7 +237,10 @@ def main(argv: List[str] | None = None) -> int:
         fn = EXPERIMENTS[name]
         title = fn.__doc__.strip().splitlines()[0]
         print(f"\n=== {name}: {title}\n")
-        print(fn())
+        if name == "profile" and args.bench_json:
+            print(profile(args.bench_json))
+        else:
+            print(fn())
     print()
     return 0
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro.scenarios run fast-path-clean
     python -m repro.scenarios run --all [--json]
     python -m repro.scenarios fuzz --seeds 25 [--start 0] [--protocols fbft,pbft]
+    python -m repro.scenarios digest [--check PATH | --update PATH]
 
 Exit status is 0 when every invariant oracle passed, 1 otherwise — so the
 commands double as CI smoke checks.
@@ -96,6 +97,57 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_digest(args: argparse.Namespace) -> int:
+    """Print (or check/update) the canonical library's trace digests.
+
+    Each scenario is run twice; a run-to-run mismatch is reported as
+    ``NONDETERMINISTIC`` and fails the command.  ``--check`` additionally
+    compares against a recorded golden file (the determinism gate CI
+    runs); ``--update`` rewrites that file after a deliberate change to
+    the scenario library or the protocols.
+    """
+    golden = {}
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            golden = json.load(fh)
+    digests = {}
+    exit_code = 0
+    for name in SCENARIOS:
+        first = run_scenario(get_scenario(name)).trace_digest
+        second = run_scenario(get_scenario(name)).trace_digest
+        digests[name] = first
+        status = "ok"
+        if first != second:
+            status = "NONDETERMINISTIC"
+            exit_code = 1
+        elif args.check:
+            if name not in golden:
+                status = "UNRECORDED"
+                exit_code = 1
+            elif golden[name] != first:
+                status = "MISMATCH vs golden"
+                exit_code = 1
+        print(f"{name:<24} {first[:16]}  {status}")
+    if args.check:
+        for name in sorted(set(golden) - set(SCENARIOS)):
+            print(f"{name:<24} {'-':<16}  MISSING from library")
+            exit_code = 1
+    if args.update:
+        if exit_code != 0:
+            print(
+                "refusing to write golden digests: fix the failures above "
+                "first (a nondeterministic scenario would pin an arbitrary "
+                "digest)",
+                file=sys.stderr,
+            )
+            return exit_code
+        with open(args.update, "w", encoding="utf-8") as fh:
+            json.dump(digests, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(digests)} digests to {args.update}")
+    return exit_code
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.scenarios",
@@ -123,12 +175,26 @@ def main(argv: List[str] | None = None) -> int:
                              help="no per-seed progress lines")
     fuzz_parser.add_argument("--json", action="store_true", help="machine-readable output")
 
+    digest_parser = sub.add_parser(
+        "digest", help="run every canonical scenario twice and report trace digests"
+    )
+    digest_parser.add_argument(
+        "--check", metavar="PATH", default="",
+        help="golden digest JSON to compare against (non-zero exit on mismatch)",
+    )
+    digest_parser.add_argument(
+        "--update", metavar="PATH", default="",
+        help="write the computed digests to this JSON file",
+    )
+
     args = parser.parse_args(argv)
     try:
         if args.command == "list":
             return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "digest":
+            return _cmd_digest(args)
         return _cmd_fuzz(args)
     except ScenarioError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from ..sim.digest import cluster_digest
 from ..sim.events import SimulationTimeout
 from ..sim.network import DelayRule
 from ..sim.runner import Cluster
@@ -53,6 +54,9 @@ class ScenarioResult:
     completed_requests: int = 0
     total_requests: int = 0
     applied_slots: int = 0
+    #: SHA-256 over sends + decisions + event counters; equal digests mean
+    #: equal executions (see :mod:`repro.sim.digest`).
+    trace_digest: str = ""
 
     @property
     def ok(self) -> bool:
@@ -82,6 +86,7 @@ class ScenarioResult:
             "safety_violation": self.safety_violation,
             "completed_requests": self.completed_requests,
             "total_requests": self.total_requests,
+            "trace_digest": self.trace_digest,
             "invariants": [
                 {"name": v.name, "passed": v.passed, "detail": v.detail}
                 for v in self.verdicts
@@ -219,4 +224,5 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         completed_requests=completed,
         total_requests=total,
         applied_slots=applied,
+        trace_digest=cluster_digest(cluster),
     )

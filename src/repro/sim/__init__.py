@@ -8,7 +8,8 @@ abstraction (:mod:`~repro.sim.process`), trace recording
 (:mod:`~repro.sim.runner`).
 """
 
-from .events import Event, EventHandle, SimulationError, SimulationTimeout, Simulator
+from .digest import cluster_digest, trace_digest
+from .events import EventHandle, SimulationError, SimulationTimeout, Simulator
 from .network import (
     DEFAULT_DELTA,
     DelayModel,
@@ -35,7 +36,6 @@ __all__ = [
     "DelayModel",
     "DelayRule",
     "Envelope",
-    "Event",
     "EventHandle",
     "Network",
     "NetworkStats",
@@ -50,6 +50,8 @@ __all__ = [
     "SynchronousDelay",
     "Timer",
     "TraceRecorder",
+    "cluster_digest",
     "message_delays",
     "payload_size",
+    "trace_digest",
 ]

@@ -1,0 +1,73 @@
+"""Deterministic trace digests: the fast path's safety net.
+
+The simulation core is allowed to get faster, never different: every
+optimization must leave the executions the paper reasons about
+byte-for-byte identical.  :func:`trace_digest` condenses a finished run —
+every send (endpoints, payload type, structural size, send and delivery
+times), every decision, and the final event-loop counters — into one
+SHA-256 hex digest.  Two runs of the same scenario must produce the same
+digest; the golden digests recorded against the pre-optimization core
+(``tests/golden/scenario_digests.json``) pin the fast path to the slow
+path's executions forever.
+
+The digest deliberately hashes payload *type names and structural sizes*
+rather than ``repr`` of payloads: reprs of sets and frozensets depend on
+``PYTHONHASHSEED`` across interpreter processes, while type names, sizes
+and times are stable everywhere.  Decision values are hashed via ``repr``
+— decided values in this codebase are strings, tuples and ``Batch``
+dataclasses, all with order-stable reprs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from .network import payload_size
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from .events import Simulator
+    from .network import NetworkStats
+    from .trace import TraceRecorder
+
+__all__ = ["trace_digest", "cluster_digest"]
+
+
+def trace_digest(
+    trace: "TraceRecorder", sim: "Simulator", stats: "NetworkStats"
+) -> str:
+    """SHA-256 digest of a run's observable behaviour.
+
+    Covers, in order: every recorded send, every decision, and the final
+    ``(events_processed, now, messages_delivered)`` counters.  Any
+    reordering of event execution perturbs at least one of these (a
+    reordered delivery changes the sends its handler performs, or the
+    decision times, or the event count), so equal digests mean equal
+    executions for everything the analysis layer measures.
+    """
+    h = hashlib.sha256()
+    update = h.update
+    for env in trace.sends:
+        update(
+            (
+                f"s|{env.src}|{env.dst}|{type(env.payload).__name__}"
+                f"|{payload_size(env.payload)}"
+                f"|{env.send_time!r}|{env.deliver_time!r}\n"
+            ).encode()
+        )
+    for decision in trace.decisions:
+        update(
+            f"d|{decision.pid}|{decision.value!r}|{decision.time!r}\n".encode()
+        )
+    update(
+        (
+            f"e|{sim.events_processed}|{sim.now!r}"
+            f"|{stats.messages_sent}|{stats.messages_delivered}\n"
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+def cluster_digest(cluster) -> str:
+    """Digest of a finished :class:`~repro.sim.runner.Cluster` run."""
+    return trace_digest(cluster.trace, cluster.sim, cluster.network.stats)

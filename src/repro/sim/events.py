@@ -11,22 +11,48 @@ The central object is :class:`Simulator`: a clock plus a priority queue of
 timestamped callbacks.  Ties are broken by a monotonically increasing
 sequence number, so two runs with the same inputs produce the same event
 order, byte for byte.
+
+The queue is the hottest data structure in the repository — every message
+of every run passes through it — so its representation is chosen for
+constant-factor speed, not beauty:
+
+* each queued event is a plain ``[time, seq, callback]`` list.  Lists
+  compare element-wise in C, so ``heappush``/``heappop`` never call back
+  into Python-level comparison code (the ``seq`` tie-breaker is unique,
+  so the callback element is never compared);
+* cancellation overwrites the callback slot with ``None`` in place — no
+  tombstone objects, no handle needed at dispatch time;
+* :meth:`Simulator.post` schedules a bare callback with no handle and no
+  label at all: the network's delivery hot path goes through it;
+* handles (:class:`EventHandle`) are ``__slots__`` objects created only
+  by :meth:`Simulator.schedule`/:meth:`Simulator.schedule_at`, and labels
+  are kept lazily — a callable label is only rendered if someone reads
+  ``handle.label``;
+* cancelled entries are counted, and when they outnumber the live ones
+  the queue is compacted in place (filter + ``heapify``), so mass timer
+  churn (per-slot SMR timers arm and cancel thousands) cannot bloat every
+  subsequent ``heappush``.
+
+None of this changes the execution order: events still fire in strict
+``(time, seq)`` order, and the golden-trace digests in
+``tests/golden/scenario_digests.json`` pin that down.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Union
 
 __all__ = [
-    "Event",
     "EventHandle",
     "Simulator",
     "SimulationError",
     "SimulationTimeout",
 ]
+
+#: A label is either a ready string or a zero-argument callable producing
+#: one; callables are rendered only when the label is actually read.
+Label = Union[str, Callable[[], str]]
 
 
 class SimulationError(Exception):
@@ -37,45 +63,45 @@ class SimulationTimeout(SimulationError):
     """Raised by :meth:`Simulator.run_until` when the predicate never holds."""
 
 
-@dataclass(order=True)
-class Event:
-    """A scheduled callback.
-
-    Events order by ``(time, seq)``; the sequence number makes the order of
-    same-time events deterministic (FIFO in scheduling order).
-    """
-
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+#: Stamped into an entry's callback slot once it has been executed, so a
+#: late ``cancel()`` on a handle whose event already fired is a no-op
+#: instead of corrupting the cancelled-entry accounting (the entry is no
+#: longer in the queue, so it must not count toward compaction).
+_FIRED: Any = object()
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`, used to cancel events."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry", "_label", "_sim")
 
-    def __init__(self, event: Event) -> None:
-        self._event = event
+    def __init__(self, entry: List[Any], label: Label, sim: "Simulator") -> None:
+        self._entry = entry
+        self._label = label
+        self._sim = sim
 
     @property
     def time(self) -> float:
         """Absolute simulation time at which the event fires."""
-        return self._event.time
+        return self._entry[0]
 
     @property
     def label(self) -> str:
-        return self._event.label
+        label = self._label
+        return label() if callable(label) else label
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[2] is None
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        """Prevent the event from firing.  Idempotent; cancelling after
+        the event already fired is a no-op."""
+        entry = self._entry
+        callback = entry[2]
+        if callback is not None and callback is not _FIRED:
+            entry[2] = None
+            self._sim._note_cancel()
 
 
 class Simulator:
@@ -90,12 +116,18 @@ class Simulator:
     [1.0, 2.0]
     """
 
+    #: Compaction only below this queue size is not worth the heapify.
+    _COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        #: Heap of ``[time, seq, callback]`` lists; a ``None`` callback
+        #: marks a cancelled entry awaiting pop or compaction.
+        self._queue: List[List[Any]] = []
+        self._seq = 0
+        self._cancelled = 0
         self._events_processed = 0
-        self._running = False
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -113,8 +145,19 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return len(self._queue) - self._cancelled
+
+    @property
+    def queue_depth(self) -> int:
+        """Raw queue length, cancelled tombstones included (introspection
+        for the compaction tests and the profiling harness)."""
+        return len(self._queue)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the queue has been compacted so far."""
+        return self._compactions
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -124,7 +167,7 @@ class Simulator:
         self,
         delay: float,
         callback: Callable[[], None],
-        label: str = "",
+        label: Label = "",
     ) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:
@@ -135,16 +178,59 @@ class Simulator:
         self,
         time: float,
         callback: Callable[[], None],
-        label: str = "",
+        label: Label = "",
     ) -> EventHandle:
         """Schedule ``callback`` to run at absolute simulation time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past: time={time} < now={self._now}"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback, label=label)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [time, seq, callback]
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry, label, self)
+
+    def post(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule with no handle and no label: the delivery hot path.
+
+        Identical ordering semantics to :meth:`schedule_at`; the only
+        difference is that nothing is allocated beyond the queue entry, so
+        the event cannot be cancelled or labelled afterwards.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: time={time} < now={self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, [time, seq, callback])
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting / compaction
+    # ------------------------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        cancelled = self._cancelled + 1
+        self._cancelled = cancelled
+        if cancelled >= self._COMPACT_MIN and cancelled * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Heap order is a function of the ``(time, seq)`` keys only, so
+        rebuilding the heap from the surviving entries cannot perturb the
+        pop order — determinism is unaffected.  The rebuild is in place
+        (slice assignment): the run loops hold a direct reference to the
+        queue list, and a cancel from inside a callback must not strand
+        them on a stale copy.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if entry[2] is not None]
+        heapq.heapify(queue)
+        self._cancelled = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -156,13 +242,17 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the queue
         was empty.  Cancelled events are skipped silently.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            callback = entry[2]
+            if callback is None:
+                self._cancelled -= 1
                 continue
-            self._now = event.time
+            entry[2] = _FIRED
+            self._now = entry[0]
             self._events_processed += 1
-            event.callback()
+            callback()
             return True
         return False
 
@@ -174,24 +264,44 @@ class Simulator:
         ``max_events`` bounds the number of events executed — a guard
         against runaway protocols in tests.
         """
+        queue = self._queue
+        heappop = heapq.heappop
+        if until is None and max_events is None:
+            # Unbounded drain: the common case, with no per-event bound
+            # checks and no peek-then-pop double touch.
+            while queue:
+                entry = heappop(queue)
+                callback = entry[2]
+                if callback is None:
+                    self._cancelled -= 1
+                    continue
+                entry[2] = _FIRED
+                self._now = entry[0]
+                self._events_processed += 1
+                callback()
+            return
         executed = 0
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
+        while queue:
+            entry = queue[0]
+            callback = entry[2]
+            if callback is None:
+                heappop(queue)
+                self._cancelled -= 1
                 continue
-            if until is not None and event.time > until:
+            time = entry[0]
+            if until is not None and time > until:
                 self._now = max(self._now, until)
                 return
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} at time {self._now}"
                 )
-            heapq.heappop(self._queue)
-            self._now = event.time
+            heappop(queue)
+            entry[2] = _FIRED
+            self._now = time
             self._events_processed += 1
             executed += 1
-            event.callback()
+            callback()
         if until is not None:
             self._now = max(self._now, until)
 
@@ -206,25 +316,31 @@ class Simulator:
         Raises :class:`SimulationTimeout` if the event queue drains or the
         simulated ``timeout`` passes without the predicate holding.
         """
+        queue = self._queue
+        heappop = heapq.heappop
         executed = 0
         if predicate():
             return self._now
-        while self._queue:
-            event = self._queue[0]
-            if event.cancelled:
-                heapq.heappop(self._queue)
+        while queue:
+            entry = queue[0]
+            callback = entry[2]
+            if callback is None:
+                heappop(queue)
+                self._cancelled -= 1
                 continue
-            if event.time > timeout:
+            time = entry[0]
+            if time > timeout:
                 break
             if executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} at time {self._now}"
                 )
-            heapq.heappop(self._queue)
-            self._now = event.time
+            heappop(queue)
+            entry[2] = _FIRED
+            self._now = time
             self._events_processed += 1
             executed += 1
-            event.callback()
+            callback()
             if predicate():
                 return self._now
         raise SimulationTimeout(

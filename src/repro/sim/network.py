@@ -30,6 +30,17 @@ declarative fault primitives (used by the scenario engine in
 * partitions (``start_partition`` / ``heal_partition``) — messages crossing
   the current partition are *held* (never dropped: channels stay reliable)
   and released when the partition heals, re-timed by the delay model.
+
+The transport itself is the hottest code in the repository: every message
+of every experiment passes through :meth:`Network.send`.  When no rules,
+interceptor or partition are active, sends take a zero-overhead fast path
+— no rule loop, no envelope re-timing, no per-delivery label, and the
+delivery callback is posted straight onto the simulator with
+:func:`functools.partial` instead of a fresh closure.  Envelopes are
+``NamedTuple`` instances (constructed in C), the registered-pid tuple used
+by :meth:`Network.broadcast` is cached across calls, payload sizes are
+memoized by object identity, and the per-delivery log is opt-in
+(``record_deliveries=True``) because nothing outside the tests reads it.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ import dataclasses
 import math
 import random
 from dataclasses import dataclass, field
+from functools import partial
 from typing import (
     Any,
     Callable,
@@ -45,6 +57,7 @@ from typing import (
     FrozenSet,
     Iterable,
     List,
+    NamedTuple,
     Optional,
     Protocol,
     Sequence,
@@ -73,6 +86,8 @@ __all__ = [
 DEFAULT_DELTA = 1.0
 
 ProcessId = int
+
+_INF = math.inf
 
 
 class DelayModel(Protocol):
@@ -160,9 +175,13 @@ class RandomDelay:
         return self._rng.uniform(self.min_delay, self.max_delay)
 
 
-@dataclass(frozen=True)
-class Envelope:
-    """A message in transit.  Channels are authenticated: ``src`` is trusted."""
+class Envelope(NamedTuple):
+    """A message in transit.  Channels are authenticated: ``src`` is trusted.
+
+    A ``NamedTuple`` rather than a dataclass: envelopes are created once
+    per send on the hot path, and C-level tuple construction is several
+    times cheaper than a frozen dataclass ``__init__``.
+    """
 
     src: ProcessId
     dst: ProcessId
@@ -247,17 +266,22 @@ class DelayRule:
                 self, "payload_types", tuple(self.payload_types)
             )
 
+    def matches_endpoints(self, src: ProcessId, dst: ProcessId) -> bool:
+        """Endpoint filters only; the payload-type filter is pre-resolved
+        by the network's per-type rule index."""
+        if self.src is not None and src not in self.src:
+            return False
+        if self.dst is not None and dst not in self.dst:
+            return False
+        return True
+
     def matches(self, envelope: Envelope) -> bool:
-        if self.src is not None and envelope.src not in self.src:
-            return False
-        if self.dst is not None and envelope.dst not in self.dst:
-            return False
         if (
             self.payload_types is not None
             and type(envelope.payload).__name__ not in self.payload_types
         ):
             return False
-        return True
+        return self.matches_endpoints(envelope.src, envelope.dst)
 
     def apply(self, deliver_time: float) -> float:
         delayed = deliver_time + self.extra_delay
@@ -266,7 +290,7 @@ class DelayRule:
         return delayed
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Counters the analysis layer reads after a run."""
 
@@ -274,6 +298,15 @@ class NetworkStats:
     messages_delivered: int = 0
     bytes_sent: int = 0
     messages_held: int = 0
+    #: Payload-size memo effectiveness (see ``Network._payload_size_cached``).
+    size_cache_hits: int = 0
+    size_cache_misses: int = 0
+
+
+#: Entries kept in the payload-size memo before it is wiped.  Broadcasts
+#: repopulate it in one miss per distinct payload, so a small bound keeps
+#: the strong references (and the id-reuse window) negligible.
+_SIZE_MEMO_LIMIT = 16
 
 
 class Network:
@@ -283,6 +316,10 @@ class Network:
     on the simulator according to the delay model (possibly re-timed by the
     interceptor).  The network never duplicates, forges, or loses messages,
     matching the channel assumptions in Section 2.1 of the paper.
+
+    ``record_deliveries`` enables the per-delivery envelope log behind
+    :attr:`delivery_log`.  It is off by default: the log is append-per-
+    delivery and unbounded, and only diagnostic tests read it.
     """
 
     def __init__(
@@ -290,19 +327,70 @@ class Network:
         sim: Simulator,
         delay_model: Optional[DelayModel] = None,
         interceptor: Optional[Interceptor] = None,
+        record_deliveries: bool = False,
     ) -> None:
         self.sim = sim
-        self.delay_model: DelayModel = delay_model or SynchronousDelay()
-        self.interceptor = interceptor
+        self._post = sim.post  # bound once: called on every send
+        #: Bound once as well — ``partial(self._deliver_fast, ...)`` would
+        #: otherwise allocate a fresh bound method per send.
+        self._deliver_ref = self._deliver_fast
         self.stats = NetworkStats()
         self._handlers: Dict[ProcessId, Callable[[ProcessId, Any], None]] = {}
-        self._delivery_log: List[Envelope] = []
+        self._delivery_log: Optional[List[Envelope]] = (
+            [] if record_deliveries else None
+        )
         self._send_hooks: List[Callable[[Envelope], None]] = []
         self._delay_rules: Dict[str, DelayRule] = {}
+        #: payload type name -> rules that could match it, in installation
+        #: order (rule applications do not commute); lazily rebuilt.
+        self._rule_index: Dict[str, Tuple[DelayRule, ...]] = {}
         self._partition: Optional[Tuple[FrozenSet[ProcessId], ...]] = None
         self._held: List[Envelope] = []
-        self._size_cache_key: Any = object()  # sentinel: matches no payload
-        self._size_cache_value: int = 0
+        #: id(payload) -> (payload, size).  The strong reference keeps the
+        #: id valid for the lifetime of the entry.
+        self._size_memo: Dict[int, Tuple[Any, int]] = {}
+        self._pid_cache: Optional[Tuple[ProcessId, ...]] = None
+        #: With a fixed-delay model the per-send model call is replaced by
+        #: one float addition (set by the ``delay_model`` setter).
+        self._fixed_delay: Optional[float] = None
+        #: True while any re-timing machinery (rules, interceptor,
+        #: partition) is active; recomputed on every mutation so the send
+        #: hot path tests one flag instead of three conditions.
+        self._slow = False
+        self._interceptor = interceptor
+        self.delay_model = delay_model or SynchronousDelay()
+        self._refresh_path()
+
+    @property
+    def delay_model(self) -> DelayModel:
+        return self._delay_model
+
+    @delay_model.setter
+    def delay_model(self, model: DelayModel) -> None:
+        self._delay_model = model
+        if isinstance(model, SynchronousDelay):
+            delta = model.delta
+            if not 0.0 <= delta < _INF:
+                raise ValueError(f"delay model returned invalid delay {delta}")
+            self._fixed_delay = delta
+        else:
+            self._fixed_delay = None
+
+    @property
+    def interceptor(self) -> Optional[Interceptor]:
+        return self._interceptor
+
+    @interceptor.setter
+    def interceptor(self, interceptor: Optional[Interceptor]) -> None:
+        self._interceptor = interceptor
+        self._refresh_path()
+
+    def _refresh_path(self) -> None:
+        self._slow = bool(
+            self._delay_rules
+            or self._interceptor is not None
+            or self._partition is not None
+        )
 
     # ------------------------------------------------------------------
     # Registration
@@ -315,13 +403,18 @@ class Network:
         if pid in self._handlers:
             raise ValueError(f"process {pid} already registered")
         self._handlers[pid] = handler
+        self._pid_cache = None
 
     def unregister(self, pid: ProcessId) -> None:
         self._handlers.pop(pid, None)
+        self._pid_cache = None
 
     @property
     def process_ids(self) -> Tuple[ProcessId, ...]:
-        return tuple(sorted(self._handlers))
+        pids = self._pid_cache
+        if pids is None:
+            pids = self._pid_cache = tuple(sorted(self._handlers))
+        return pids
 
     def add_send_hook(self, hook: Callable[[Envelope], None]) -> None:
         """Observe every send (used by the trace recorder)."""
@@ -338,15 +431,33 @@ class Network:
         already in flight keep their scheduled delivery time.
         """
         self._delay_rules[rule.name] = rule
+        self._rule_index.clear()
+        self._refresh_path()
         return rule
 
     def clear_delay_rule(self, name: str) -> None:
         """Remove the named rule.  Unknown names are a no-op."""
         self._delay_rules.pop(name, None)
+        self._rule_index.clear()
+        self._refresh_path()
 
     @property
     def delay_rules(self) -> Tuple[DelayRule, ...]:
         return tuple(self._delay_rules.values())
+
+    def _rules_for(self, type_name: str) -> Tuple[DelayRule, ...]:
+        """Installed rules that could match a payload of ``type_name``,
+        in installation order (cached per type until the rule set changes)."""
+        rules = self._rule_index.get(type_name)
+        if rules is None:
+            rules = tuple(
+                rule
+                for rule in self._delay_rules.values()
+                if rule.payload_types is None
+                or type_name in rule.payload_types
+            )
+            self._rule_index[type_name] = rules
+        return rules
 
     def start_partition(
         self, groups: Sequence[Iterable[ProcessId]]
@@ -365,6 +476,7 @@ class Network:
                 raise ValueError(f"process in multiple partition groups: {frozen}")
             seen |= group
         self._partition = frozen
+        self._refresh_path()
 
     def heal_partition(self) -> None:
         """Remove the partition and release held messages.
@@ -376,16 +488,17 @@ class Network:
         bypasses their contract.
         """
         self._partition = None
+        self._refresh_path()
         held, self._held = self._held, []
         now = self.sim.now
         for envelope in held:
-            delay = self.delay_model.delay(envelope.src, envelope.dst, now)
+            delay = self._delay_model.delay(envelope.src, envelope.dst, now)
             released = Envelope(
-                src=envelope.src,
-                dst=envelope.dst,
-                payload=envelope.payload,
-                send_time=envelope.send_time,
-                deliver_time=now + delay,
+                envelope.src,
+                envelope.dst,
+                envelope.payload,
+                envelope.send_time,
+                now + delay,
             )
             self._schedule_delivery(self._retime(released))
 
@@ -416,95 +529,148 @@ class Network:
 
     def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> Envelope:
         """Send ``payload`` from ``src`` to ``dst``; returns the envelope."""
+        return self._send(src, dst, payload, self._payload_size_cached(payload))
+
+    def _send(
+        self, src: ProcessId, dst: ProcessId, payload: Any, size: int
+    ) -> Envelope:
+        """The transport hot path; ``size`` is pre-computed so broadcasts
+        account the payload once instead of probing the memo per recipient."""
         if dst not in self._handlers:
             raise ValueError(f"unknown destination process {dst}")
-        now = self.sim.now
-        delay = self.delay_model.delay(src, dst, now)
-        if delay < 0 or math.isinf(delay) or math.isnan(delay):
-            raise ValueError(f"delay model returned invalid delay {delay}")
-        envelope = self._retime(
-            Envelope(
-                src=src, dst=dst, payload=payload,
-                send_time=now, deliver_time=now + delay,
-            )
-        )
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += self._payload_size_cached(payload)
-        for hook in self._send_hooks:
-            hook(envelope)
-        if self._crosses_partition(src, dst):
-            self.stats.messages_held += 1
+        now = self.sim._now
+        fixed = self._fixed_delay
+        if fixed is not None:
+            deliver = now + fixed
+        else:
+            delay = self._delay_model.delay(src, dst, now)
+            if not 0.0 <= delay < _INF:  # also rejects NaN (comparisons False)
+                raise ValueError(f"delay model returned invalid delay {delay}")
+            deliver = now + delay
+        envelope = Envelope(src, dst, payload, now, deliver)
+        # Zero-rule fast path: with no delay rules, no interceptor and no
+        # partition active (``_slow`` is maintained by their mutators), the
+        # envelope is final — skip the rule loop, the re-timing
+        # reconstruction and the partition check entirely.
+        slow = self._slow
+        if slow:
+            envelope = self._retime(envelope)
+            deliver = envelope.deliver_time
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        hooks = self._send_hooks
+        if hooks:
+            for hook in hooks:
+                hook(envelope)
+        if slow and self._crosses_partition(src, dst):
+            stats.messages_held += 1
             self._held.append(envelope)
             return envelope
-        self._schedule_delivery(envelope)
+        if self._delivery_log is None:
+            self._post(deliver, partial(self._deliver_ref, dst, src, payload))
+        else:
+            self._schedule_delivery(envelope)
         return envelope
 
     def _retime(self, envelope: Envelope) -> Envelope:
         """Apply delay rules, then the interceptor, to an envelope."""
         deliver_time = envelope.deliver_time
-        for rule in self._delay_rules.values():
-            if rule.matches(envelope):
-                deliver_time = rule.apply(deliver_time)
-        if deliver_time != envelope.deliver_time:
-            envelope = Envelope(
-                src=envelope.src, dst=envelope.dst, payload=envelope.payload,
-                send_time=envelope.send_time, deliver_time=deliver_time,
-            )
-        if self.interceptor is not None:
-            override = self.interceptor(envelope)
+        rules = self._rules_for(type(envelope.payload).__name__)
+        if rules:
+            src = envelope.src
+            dst = envelope.dst
+            for rule in rules:
+                if rule.matches_endpoints(src, dst):
+                    deliver_time = rule.apply(deliver_time)
+            if deliver_time != envelope.deliver_time:
+                envelope = envelope._replace(deliver_time=deliver_time)
+        if self._interceptor is not None:
+            override = self._interceptor(envelope)
             if override is not None:
                 now = self.sim.now
                 if math.isinf(override) or math.isnan(override) or override < now:
                     raise ValueError(
                         f"interceptor returned invalid delivery time {override}"
                     )
-                envelope = Envelope(
-                    src=envelope.src, dst=envelope.dst, payload=envelope.payload,
-                    send_time=envelope.send_time, deliver_time=override,
-                )
+                envelope = envelope._replace(deliver_time=override)
         return envelope
 
     def _payload_size_cached(self, payload: Any) -> int:
-        """One-entry identity cache: broadcasts account the same payload
-        object once per recipient without re-walking it."""
-        if payload is self._size_cache_key:
-            return self._size_cache_value
+        """Identity-keyed memo: broadcasts account the same payload object
+        once per recipient without re-walking it, and interleaved
+        broadcasts of different payloads (client request + replica gossip
+        in the same tick) no longer thrash a single cache slot."""
+        memo = self._size_memo
+        entry = memo.get(id(payload))
+        if entry is not None and entry[0] is payload:
+            self.stats.size_cache_hits += 1
+            return entry[1]
         size = payload_size(payload)
-        self._size_cache_key = payload
-        self._size_cache_value = size
+        if len(memo) >= _SIZE_MEMO_LIMIT:
+            memo.clear()
+        memo[id(payload)] = (payload, size)
+        self.stats.size_cache_misses += 1
         return size
 
     def _schedule_delivery(self, envelope: Envelope) -> None:
-        self.sim.schedule_at(
-            envelope.deliver_time,
-            lambda env=envelope: self._deliver(env),
-            label=f"deliver {envelope.src}->{envelope.dst}",
-        )
+        self.sim.post(envelope.deliver_time, partial(self._deliver, envelope))
 
     def broadcast(
         self, src: ProcessId, payload: Any, include_self: bool = True
     ) -> List[Envelope]:
-        """Send ``payload`` from ``src`` to every registered process."""
-        envelopes = []
-        for dst in self.process_ids:
-            if dst == src and not include_self:
-                continue
-            envelopes.append(self.send(src, dst, payload))
-        return envelopes
+        """Send ``payload`` from ``src`` to every registered process.
+
+        The payload's structural size is resolved once for the whole
+        broadcast, and the destination list is the cached sorted pid
+        tuple — nothing here is per-recipient except the send itself.
+        """
+        size = self._payload_size_cached(payload)
+        send = self._send
+        if include_self:
+            return [send(src, dst, payload, size) for dst in self.process_ids]
+        return [
+            send(src, dst, payload, size)
+            for dst in self.process_ids
+            if dst != src
+        ]
 
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
+
+    def _deliver_fast(self, dst: ProcessId, src: ProcessId, payload: Any) -> None:
+        """Hot-path delivery: no envelope, no log."""
+        handler = self._handlers.get(dst)
+        if handler is None:
+            return  # destination shut down after the message was sent
+        self.stats.messages_delivered += 1
+        handler(src, payload)
 
     def _deliver(self, envelope: Envelope) -> None:
         handler = self._handlers.get(envelope.dst)
         if handler is None:
             return  # destination shut down after the message was sent
         self.stats.messages_delivered += 1
-        self._delivery_log.append(envelope)
+        if self._delivery_log is not None:
+            self._delivery_log.append(envelope)
         handler(envelope.src, envelope.payload)
 
     @property
+    def records_deliveries(self) -> bool:
+        return self._delivery_log is not None
+
+    @property
     def delivery_log(self) -> Tuple[Envelope, ...]:
-        """All deliveries so far, in delivery order."""
+        """All deliveries so far, in delivery order.
+
+        Only populated when the network was built with
+        ``record_deliveries=True``; raises otherwise, because silently
+        returning an empty log has bitten people before.
+        """
+        if self._delivery_log is None:
+            raise RuntimeError(
+                "delivery log is opt-in: construct the Network with "
+                "record_deliveries=True"
+            )
         return tuple(self._delivery_log)

@@ -9,8 +9,8 @@ which makes it easy to wrap a process to inject Byzantine behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from functools import partial
+from typing import Any, Callable, Dict, Hashable, List, Optional
 
 from .events import EventHandle, Simulator
 from .network import Network, ProcessId
@@ -18,12 +18,19 @@ from .network import Network, ProcessId
 __all__ = ["Process", "ProcessContext", "Timer"]
 
 
-@dataclass
 class Timer:
-    """A cancellable timer owned by a process."""
+    """A cancellable timer owned by a process.
 
-    name: str
-    handle: EventHandle
+    A ``__slots__`` wrapper around the simulator's event handle — timers
+    are armed and cancelled thousands of times per run (per-slot SMR
+    pacemakers, client retries), so this stays allocation-light.
+    """
+
+    __slots__ = ("name", "handle")
+
+    def __init__(self, name: Hashable, handle: EventHandle) -> None:
+        self.name = name
+        self.handle = handle
 
     def cancel(self) -> None:
         self.handle.cancel()
@@ -40,7 +47,7 @@ class ProcessContext:
         self.pid = pid
         self.sim = sim
         self.network = network
-        self._timers: Dict[str, Timer] = {}
+        self._timers: Dict[Hashable, Timer] = {}
         self._halted = False
         #: Derived contexts (e.g. per-slot contexts of an SMR replica)
         #: whose crash fate is tied to this one; see :meth:`adopt`.
@@ -101,28 +108,39 @@ class ProcessContext:
         self.network.broadcast(self.pid, payload, include_self=include_self)
 
     # ------------------------------------------------------------------
-    def set_timer(self, name: str, delay: float, callback: Callable[[], None]) -> Timer:
-        """(Re)arm the named timer; an existing timer of that name is cancelled."""
-        self.cancel_timer(name)
+    def set_timer(
+        self, name: Hashable, delay: float, callback: Callable[[], None]
+    ) -> Timer:
+        """(Re)arm the named timer; an existing timer of that name is
+        cancelled.  Names are usually strings but any hashable works (the
+        SMR client keys retry timers by request id without formatting).
+
+        The timer's label is lazy: it is only rendered if a handle's
+        ``label`` is actually read (e.g. while tracing), never on the
+        arm/cancel hot path.
+        """
+        timer = self._timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
         handle = self.sim.schedule(
             delay,
-            lambda: self._fire_timer(name, callback),
-            label=f"timer {name}@{self.pid}",
+            partial(self._fire_timer, name, callback),
+            label=partial("timer {}@{}".format, name, self.pid),
         )
-        timer = Timer(name=name, handle=handle)
+        timer = Timer(name, handle)
         self._timers[name] = timer
         return timer
 
-    def cancel_timer(self, name: str) -> None:
+    def cancel_timer(self, name: Hashable) -> None:
         timer = self._timers.pop(name, None)
         if timer is not None:
             timer.cancel()
 
-    def has_timer(self, name: str) -> bool:
+    def has_timer(self, name: Hashable) -> bool:
         timer = self._timers.get(name)
         return timer is not None and timer.active
 
-    def _fire_timer(self, name: str, callback: Callable[[], None]) -> None:
+    def _fire_timer(self, name: Hashable, callback: Callable[[], None]) -> None:
         if self._halted:
             return
         self._timers.pop(name, None)

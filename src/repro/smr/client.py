@@ -117,10 +117,13 @@ class SMRClient(Process):
         request = Request(
             client=self.pid, request_id=request_id, command=outcome.command
         )
+        send = self.send
         for replica in self.replica_pids:
-            self.send(replica, request)
+            send(replica, request)
+        # Timer keys are ("retry", id) tuples, not formatted strings: one
+        # timer is armed per request send, so the f-string was hot-path.
         self.ctx.set_timer(
-            f"retry-{request_id}",
+            ("retry", request_id),
             backoff,
             lambda: self._send_request(request_id, backoff * 2),
         )
@@ -145,7 +148,7 @@ class SMRClient(Process):
             outcome.completed_at = self.now
             outcome.result = payload.result
             outcome.slot = payload.slot
-            self.ctx.cancel_timer(f"retry-{payload.request_id}")
+            self.ctx.cancel_timer(("retry", payload.request_id))
             self._inflight.discard(payload.request_id)
             if self.on_complete is not None:
                 self.on_complete(outcome)

@@ -147,6 +147,9 @@ class _SlotContext(ProcessContext):
         super().__init__(parent.pid, parent.sim, parent.network)
         self._slot = slot
         self._parent = parent
+        #: Timer-name prefix, rendered once: per-slot pacemakers arm and
+        #: cancel timers constantly, and an f-string per call adds up.
+        self._timer_prefix = f"slot{slot}:"
         parent.adopt(self)
 
     def send(self, dst: int, payload: Any) -> None:
@@ -162,13 +165,13 @@ class _SlotContext(ProcessContext):
         )
 
     def set_timer(self, name: str, delay: float, callback) -> Any:
-        return super().set_timer(f"slot{self._slot}:{name}", delay, callback)
+        return super().set_timer(self._timer_prefix + name, delay, callback)
 
     def cancel_timer(self, name: str) -> None:
-        super().cancel_timer(f"slot{self._slot}:{name}")
+        super().cancel_timer(self._timer_prefix + name)
 
     def has_timer(self, name: str) -> bool:
-        return super().has_timer(f"slot{self._slot}:{name}")
+        return super().has_timer(self._timer_prefix + name)
 
 
 #: Builds one consensus instance: (pid, slot, input_value) -> process.

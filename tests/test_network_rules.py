@@ -129,6 +129,50 @@ class TestDelayRules:
         assert rule.dst == frozenset({2})
         assert rule.payload_types == ("Ack",)
 
+    def test_rules_apply_in_installation_order(self):
+        """extra_delay and hold_until do not commute; the per-type rule
+        index must preserve installation order across typed and wildcard
+        rules.  Here: (1 + 4) then max(.., 5) = 5, whereas the reverse
+        order would give max(1, 5) + 4 = 9."""
+        sim, net, inboxes = make_network()
+        net.set_delay_rule(
+            DelayRule(name="typed-extra", payload_types=("str",), extra_delay=4.0)
+        )
+        net.set_delay_rule(DelayRule(name="wild-hold", hold_until=5.0))
+        net.send(0, 1, "m")
+        sim.run()
+        assert inboxes[1] == [(5.0, 0, "m")]
+
+    def test_rules_apply_in_installation_order_reversed(self):
+        sim, net, inboxes = make_network()
+        net.set_delay_rule(DelayRule(name="wild-hold", hold_until=5.0))
+        net.set_delay_rule(
+            DelayRule(name="typed-extra", payload_types=("str",), extra_delay=4.0)
+        )
+        net.send(0, 1, "m")
+        sim.run()
+        assert inboxes[1] == [(9.0, 0, "m")]
+
+    def test_rule_index_rebuilt_after_mid_run_changes(self):
+        """set/clear after sends (index already populated) must refresh
+        which rules match each payload type."""
+        sim, net, inboxes = make_network()
+        net.set_delay_rule(
+            DelayRule(name="slow-str", payload_types=("str",), extra_delay=2.0)
+        )
+        net.send(0, 1, "a")              # 1 + 2 = 3
+        net.clear_delay_rule("slow-str")
+        net.send(0, 1, "b")              # back to 1
+        net.set_delay_rule(
+            DelayRule(name="slow-int", payload_types=("int",), extra_delay=6.0)
+        )
+        net.send(0, 1, "c")              # strings unaffected: 1
+        net.send(0, 1, 7)                # 1 + 6 = 7
+        sim.run()
+        assert sorted(inboxes[1]) == [
+            (1.0, 0, "b"), (1.0, 0, "c"), (3.0, 0, "a"), (7.0, 0, 7),
+        ]
+
 
 class TestPartitions:
     def test_crossing_messages_held_until_heal(self):

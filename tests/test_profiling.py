@@ -1,0 +1,96 @@
+"""Tests for the profiling subsystem (repro.analysis.profiling)."""
+
+import pytest
+
+from repro.analysis.profiling import (
+    BENCH_SCHEMA_VERSION,
+    PhaseProfiler,
+    broadcast_storm,
+    cprofile_top,
+    event_churn,
+    format_cprofile_rows,
+    load_bench_json,
+    timer_churn,
+    write_bench_json,
+)
+from repro.sim.events import Simulator
+
+
+class TestPhaseProfiler:
+    def test_phase_records_wall_and_events(self):
+        profiler = PhaseProfiler()
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        with profiler.phase("drain", sim):
+            sim.run()
+        (phase,) = profiler.phases
+        assert phase.name == "drain"
+        assert phase.events == 10
+        assert phase.wall_seconds >= 0.0
+        assert phase.events_per_sec > 0.0
+
+    def test_phase_without_sim(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("plain"):
+            pass
+        assert profiler.phases[0].events == 0
+        assert profiler.phases[0].events_per_sec == 0.0
+
+    def test_phase_recorded_even_on_exception(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("boom"):
+                raise RuntimeError("x")
+        assert [p.name for p in profiler.phases] == ["boom"]
+
+    def test_rows_and_dict(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            pass
+        assert profiler.to_rows()[0][0] == "a"
+        assert "a" in profiler.to_dict()
+        assert profiler.total_seconds() >= 0.0
+
+
+class TestCProfileTop:
+    def test_returns_result_and_rows(self):
+        result, rows = cprofile_top(lambda: sum(range(1000)), top=5)
+        assert result == sum(range(1000))
+        assert len(rows) <= 5
+        assert all(row.tottime >= 0.0 for row in rows)
+        text = format_cprofile_rows(rows)
+        assert "function" in text.splitlines()[0]
+
+
+class TestBenchJson:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_X.json"
+        written = write_bench_json(
+            str(path), "X", {"metric": 1.5}, meta={"quick": True}
+        )
+        assert written["schema_version"] == BENCH_SCHEMA_VERSION
+        loaded = load_bench_json(str(path))
+        assert loaded["bench"] == "X"
+        assert loaded["results"] == {"metric": 1.5}
+        assert loaded["meta"] == {"quick": True}
+        assert loaded["python"]
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_BAD.json"
+        path.write_text('{"schema_version": 999}')
+        with pytest.raises(ValueError, match="schema"):
+            load_bench_json(str(path))
+
+
+class TestWorkloads:
+    """Tiny instances: these validate the drivers, not the speed."""
+
+    def test_event_churn_runs(self):
+        assert event_churn(200) > 0.0
+
+    def test_timer_churn_runs(self):
+        assert timer_churn(1000) > 0.0
+
+    def test_broadcast_storm_runs(self):
+        assert broadcast_storm(3, 5) > 0.0

@@ -188,6 +188,130 @@ class TestRunUntilPredicate:
         assert fired == []
 
 
+class TestFastPathScheduling:
+    def test_post_and_schedule_share_fifo_order(self):
+        """post() events interleave with schedule() events in seq order."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.post(1.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("c"))
+        sim.post(1.0, lambda: fired.append("d"))
+        sim.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_post_rejects_past_times(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post(1.0, lambda: None)
+
+    def test_lazy_label_only_rendered_on_access(self):
+        sim = Simulator()
+        calls = []
+
+        def render():
+            calls.append(1)
+            return "expensive label"
+
+        handle = sim.schedule(1.0, lambda: None, label=render)
+        assert calls == []  # scheduling must not render the label
+        assert handle.label == "expensive label"
+        assert calls == [1]
+
+    def test_plain_string_labels_still_work(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None, label="plain")
+        assert handle.label == "plain"
+
+
+class TestHeapCompaction:
+    """Mass-cancelled timers must not bloat the heap (the per-slot SMR
+    pacemaker pattern arms and cancels thousands per run)."""
+
+    def test_mass_cancel_compacts_queue(self):
+        sim = Simulator()
+        keeper_fired = []
+        sim.schedule(100.0, lambda: keeper_fired.append(sim.now))
+        handles = [sim.schedule(10.0, lambda: None) for _ in range(10_000)]
+        assert sim.queue_depth == 10_001
+        for handle in handles:
+            handle.cancel()
+        # Compaction triggered during the cancels: tombstones are gone.
+        assert sim.compactions >= 1
+        assert sim.queue_depth < 200
+        assert sim.pending_events == 1
+        sim.run()
+        assert keeper_fired == [100.0]
+
+    def test_cancel_after_fire_is_a_noop(self):
+        """A late cancel() on a handle whose event already fired must not
+        count toward the cancelled-entry accounting (the entry left the
+        queue when it executed) — otherwise pending_events goes negative
+        and compaction fires spuriously on a clean queue."""
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.schedule(1.0, lambda i=i: fired.append(i)) for i in range(100)
+        ]
+        sim.run()
+        assert len(fired) == 100
+        for handle in handles:
+            handle.cancel()  # all events already fired
+            handle.cancel()
+        assert sim.pending_events == 0
+        assert sim.compactions == 0
+        assert not handles[0].cancelled  # it fired; it was never cancelled
+
+    def test_pending_events_is_constant_time_accounting(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(50)]
+        assert sim.pending_events == 50
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending_events == 25
+        for handle in handles:
+            handle.cancel()  # idempotent, incl. already-cancelled
+        assert sim.pending_events == 0
+
+    def test_cancel_during_run_keeps_order(self):
+        """A compaction triggered from inside a callback must not strand
+        the run loop on a stale queue or reorder survivors."""
+        sim = Simulator()
+        fired = []
+        victims = [sim.schedule(50.0, lambda: None) for _ in range(5000)]
+
+        def massacre():
+            fired.append("massacre")
+            for victim in victims:
+                victim.cancel()
+
+        sim.schedule(1.0, massacre)
+        sim.schedule(2.0, lambda: fired.append("after"))
+        sim.schedule(60.0, lambda: fired.append("late"))
+        sim.run()
+        assert fired == ["massacre", "after", "late"]
+        assert sim.compactions >= 1
+
+    def test_compaction_preserves_determinism(self):
+        """Same schedule/cancel pattern with and without compaction-sized
+        churn produces the same firing order for the survivors."""
+
+        def run_once(churn: int):
+            sim = Simulator()
+            order = []
+            doomed = [sim.schedule(30.0, lambda: None) for _ in range(churn)]
+            for i in range(20):
+                sim.schedule((i * 7) % 13 + 0.5, lambda i=i: order.append(i))
+            for handle in doomed:
+                handle.cancel()
+            sim.run()
+            return order
+
+        assert run_once(0) == run_once(10_000)
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_sequences(self):
         def run_once():

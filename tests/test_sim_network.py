@@ -14,9 +14,9 @@ from repro.sim.network import (
 )
 
 
-def make_network(delay_model=None, interceptor=None, pids=range(4)):
+def make_network(delay_model=None, interceptor=None, pids=range(4), **kwargs):
     sim = Simulator()
-    net = Network(sim, delay_model=delay_model, interceptor=interceptor)
+    net = Network(sim, delay_model=delay_model, interceptor=interceptor, **kwargs)
     inboxes = {pid: [] for pid in pids}
     for pid in pids:
         net.register(
@@ -164,11 +164,33 @@ class TestNetwork:
         assert [p for _, p, _ in inboxes[1]] == list(range(25))
 
     def test_delivery_log_in_delivery_order(self):
-        sim, net, _ = make_network(SynchronousDelay(1.0))
+        sim, net, _ = make_network(SynchronousDelay(1.0), record_deliveries=True)
         net.send(0, 1, "a")
         net.send(1, 2, "b")
         sim.run()
         assert [env.payload for env in net.delivery_log] == ["a", "b"]
+
+    def test_delivery_log_is_opt_in(self):
+        sim, net, _ = make_network(SynchronousDelay(1.0))
+        net.send(0, 1, "a")
+        sim.run()
+        assert not net.records_deliveries
+        with pytest.raises(RuntimeError, match="record_deliveries"):
+            net.delivery_log
+
+    def test_delivery_log_records_rule_delayed_messages(self):
+        """The slow (rule-active) path and the fast path feed the same log."""
+        from repro.sim.network import DelayRule
+
+        sim, net, inboxes = make_network(
+            SynchronousDelay(1.0), record_deliveries=True
+        )
+        net.send(0, 1, "fast")
+        net.set_delay_rule(DelayRule(name="later", extra_delay=5.0))
+        net.send(0, 2, "slow")
+        sim.run()
+        assert [env.payload for env in net.delivery_log] == ["fast", "slow"]
+        assert inboxes[2] == [(0, "slow", 6.0)]
 
     def test_send_hook_sees_every_send(self):
         sim, net, _ = make_network()
@@ -176,6 +198,81 @@ class TestNetwork:
         net.add_send_hook(lambda env: seen.append(env.payload))
         net.broadcast(0, "x")
         assert len(seen) == 4
+
+
+class TestPayloadSizeMemo:
+    def test_alternating_broadcasts_do_not_thrash(self):
+        """Two payload objects broadcast in the same tick (client request +
+        replica gossip) must each be walked once, not once per recipient —
+        the regression the old one-entry cache had."""
+        sim, net, _ = make_network()
+        a = ("client-request", "k1", 1)
+        b = ("replica-gossip", "k2", 2)
+        net.broadcast(0, a)
+        net.broadcast(1, b)
+        net.broadcast(0, a)
+        net.broadcast(1, b)
+        assert net.stats.size_cache_misses == 2  # one walk per object
+        assert net.stats.size_cache_hits == 2   # re-broadcasts hit
+        sim.run()
+
+    def test_sends_of_same_object_hit_the_memo(self):
+        sim, net, _ = make_network()
+        payload = ("x", 1)
+        for dst in range(3):
+            net.send(0, dst, payload)
+        assert net.stats.size_cache_misses == 1
+        assert net.stats.size_cache_hits == 2
+
+    def test_bytes_accounting_matches_unmemoized_walk(self):
+        from repro.sim.network import payload_size
+
+        sim, net, _ = make_network()
+        a = ("client-request", "k1", 1)
+        b = ("replica-gossip", "k2", 2)
+        net.broadcast(0, a)
+        net.broadcast(1, b)
+        net.broadcast(0, a)
+        expected = 4 * (2 * payload_size(a) + payload_size(b))
+        assert net.stats.bytes_sent == expected
+
+
+class TestRegistrationCache:
+    def test_process_ids_cached_and_invalidated(self):
+        sim, net, _ = make_network()
+        first = net.process_ids
+        assert first == (0, 1, 2, 3)
+        assert net.process_ids is first  # cached tuple, not re-sorted
+        net.register(9, lambda s, p: None)
+        assert net.process_ids == (0, 1, 2, 3, 9)
+        net.unregister(1)
+        assert net.process_ids == (0, 2, 3, 9)
+
+    def test_broadcast_after_unregister_skips_removed(self):
+        sim, net, inboxes = make_network()
+        net.unregister(2)
+        net.broadcast(0, "x")
+        sim.run()
+        assert inboxes[2] == []
+        assert inboxes[3] == [(0, "x", 1.0)]
+
+
+class TestDelayModelSwap:
+    def test_fixed_delay_cache_follows_model_swap(self):
+        """The SynchronousDelay fast path must track delay_model updates."""
+        sim, net, inboxes = make_network(SynchronousDelay(1.0))
+        net.send(0, 1, "first")
+        net.delay_model = SynchronousDelay(5.0)
+        net.send(0, 1, "second")  # still sent at t=0, now with delta=5
+        sim.run()
+        assert inboxes[1] == [(0, "first", 1.0), (0, "second", 5.0)]
+
+    def test_swap_to_non_fixed_model(self):
+        sim, net, inboxes = make_network(SynchronousDelay(1.0))
+        net.delay_model = RoundSynchronousDelay(2.0)
+        net.send(0, 1, "x")
+        sim.run()
+        assert inboxes[1] == [(0, "x", 2.0)]
 
 
 class TestInterceptor:
