@@ -1,62 +1,21 @@
 """E10 — The t-two-step property (Section 4.1) checked empirically.
 
-The lower bound applies to protocols that are *t-two-step*: for every
-size-t fault set T there is a T-faulty two-step execution.  This
-benchmark verifies our protocol has the property (including when the
-fault set contains the first leader — the subtlety Section 4.3
-discusses), that PBFT does not, and that Lemma 4.4's influential-process
-search returns a valid witness.
+Thin wrapper over the ``E10`` registry entry: the per-protocol fault-set
+sweeps live in ``repro.experiments``.  The lower bound applies to
+protocols that are *t-two-step*: for every size-t fault set T there is a
+T-faulty two-step execution.  Ours has the property (including when the
+fault set contains the first leader — the Section 4.3 subtlety), PBFT
+does not, and Lemma 4.4's influential-process search returns a valid
+witness.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
 from repro.analysis import format_table
-from repro.baselines.pbft import PBFTConfig, PBFTProcess
-from repro.core.config import ProtocolConfig
-from repro.core.fastbft import FastBFTProcess
-from repro.core.generalized import GeneralizedFBFTProcess
-from repro.crypto.keys import KeyRegistry
-from repro.lowerbound import check_t_two_step, find_influential_process
-
-
-def fbft_factory(n, f, t):
-    config = ProtocolConfig(n=n, f=f, t=t)
-    registry = KeyRegistry.for_processes(config.process_ids)
-    cls = FastBFTProcess if config.is_vanilla else GeneralizedFBFTProcess
-    return lambda pid, value: cls(pid, config, registry, value)
-
-
-def pbft_factory(n, f):
-    config = PBFTConfig(n=n, f=f)
-    return lambda pid, value: PBFTProcess(pid, config, value)
-
-
-def two_step_sweep():
-    rows = []
-    cases = [
-        ("FBFT", fbft_factory(4, 1, 1), 4, 1, None),
-        ("FBFT", fbft_factory(9, 2, 2), 9, 2, 20),
-        ("FBFT gen", fbft_factory(7, 2, 1), 7, 1, None),
-        ("FBFT gen", fbft_factory(12, 3, 2), 12, 2, 20),
-        ("PBFT", pbft_factory(4, 1), 4, 1, None),
-        ("PBFT", pbft_factory(10, 3), 10, 1, 10),
-    ]
-    for name, factory, n, t, limit in cases:
-        report = check_t_two_step(
-            factory, n=n, t=t, protocol_name=name, max_fault_sets=limit
-        )
-        rows.append(
-            [
-                name, n, t, report.executions,
-                report.two_step_executions,
-                "YES" if report.is_t_two_step else "no",
-            ]
-        )
-    return rows
 
 
 def test_e10_two_step_property(benchmark):
-    rows = benchmark(two_step_sweep)
+    rows = benchmark(lambda: sections("E10", section="two_step")["two_step"])
     emit(
         "E10: t-two-step property over all size-t fault sets",
         format_table(
@@ -64,6 +23,7 @@ def test_e10_two_step_property(benchmark):
             rows,
         ),
     )
+    assert len(rows) == 6
     for name, n, t, execs, ok, verdict in rows:
         if name.startswith("FBFT"):
             assert verdict == "YES", (name, n, t)
@@ -74,19 +34,13 @@ def test_e10_two_step_property(benchmark):
 
 
 def test_e10_influential_process_witness(benchmark):
-    witness = benchmark(
-        lambda: find_influential_process(
-            lambda pid, value: None or fbft_factory(4, 1, 1)(pid, value),
-            n=4,
-            t=1,
-        )
-    )
+    rows = benchmark(lambda: sections("E10", section="witness")["witness"])
+    (row,) = rows
+    pid, t0, value0, t1, value1, valid = row
     emit(
         "E10b: Lemma 4.4 witness",
-        f"influential process = p{witness.pid}; "
-        f"T0={witness.t0_set} decides {witness.value0}, "
-        f"T1={witness.t1_set} decides {witness.value1}",
+        f"influential process = p{pid}; T0={t0} decides {value0}, "
+        f"T1={t1} decides {value1}",
     )
-    assert witness is not None
-    assert witness.check()
-    assert witness.pid == 0  # the view-1 leader
+    assert valid
+    assert pid == 0  # the view-1 leader

@@ -1,70 +1,32 @@
 """E11 — Ablation: what the equivocator-exclusion trick is worth.
 
-The paper's two-process improvement over FaB Paxos comes from one move
+Thin wrapper over the ``E11`` registry entry: the (f, t) sweep with the
+selection variant toggled lives in ``repro.experiments``.  The paper's
+two-process improvement over FaB Paxos comes from one move
 (Section 3.2): a leader holding proof that ``leader(w)`` equivocated
-excludes that process's vote and, knowing at most ``f - 1`` Byzantine
-votes remain, trusts a ``2f``-vote threshold.  Section 4.4 explains the
-flip side: when proposers are not acceptors the trick is unavailable and
-``3f + 2t + 1`` is optimal again.
-
-This benchmark disables the trick in the real implementation (the
-``exclude_equivocator=False`` selection variant) and reruns the splice
-adversary *at the bound* ``n = 3f + 2t - 1``:
-
-* with the trick: safe (as in E4);
-* without it: consistency violated — the equivocator's own lying nil
-  vote pads the crafted vote set, the threshold cannot be met by the
-  decided value, and the conflicting value gets certified.
-
-Together with the analytic ``min_processes_disjoint_roles`` this is the
-executable form of Section 4.4.
+excludes that process's vote and trusts a ``2f``-vote threshold.
+Disabling the trick at the bound n = 3f + 2t - 1 lets the splice
+adversary certify a conflicting value; Section 4.4's
+``min_processes_disjoint_roles`` says two more processes buy it back.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
 from repro.analysis import format_table
-from repro.core.quorums import (
-    min_processes_disjoint_roles,
-    min_processes_fast_bft,
-)
-from repro.lowerbound import run_splice_attack
-
-
-def ablation_table():
-    rows = []
-    for f, t in [(2, 2), (3, 2), (2, 1)]:
-        bound = min_processes_fast_bft(f, t)
-        with_trick = run_splice_attack(
-            f=f, t=t, n=bound, exclude_equivocator=True
-        )
-        without_trick = run_splice_attack(
-            f=f, t=t, n=bound, exclude_equivocator=False
-        )
-        rows.append(
-            [
-                f, t, bound,
-                "safe" if with_trick.safe else "DISAGREEMENT",
-                "safe" if without_trick.safe else "DISAGREEMENT",
-                min_processes_disjoint_roles(f, t),
-            ]
-        )
-    return rows
 
 
 def test_e11_exclusion_trick_is_load_bearing(benchmark):
-    rows = benchmark(ablation_table)
+    rows = benchmark(lambda: sections("E11")["main"])
     emit(
         "E11: splice attack at n = 3f + 2t - 1, with/without the "
         "equivocator-exclusion trick",
         format_table(
-            [
-                "f", "t", "n (bound)",
-                "with exclusion", "without exclusion",
-                "disjoint-roles bound",
-            ],
+            ["f", "t", "n (bound)", "with exclusion", "without exclusion",
+             "disjoint-roles bound"],
             rows,
         ),
     )
+    assert len(rows) == 3
     for f, t, n, with_trick, without_trick, disjoint in rows:
         assert with_trick == "safe"
         assert without_trick == "DISAGREEMENT"
@@ -72,7 +34,5 @@ def test_e11_exclusion_trick_is_load_bearing(benchmark):
 
 
 def test_e11_single_ablated_run_speed(benchmark):
-    outcome = benchmark(
-        lambda: run_splice_attack(f=2, t=2, n=9, exclude_equivocator=False)
-    )
-    assert outcome.violated
+    rows = benchmark(lambda: sections("E11", f=2, t=2)["main"])
+    assert rows[0][4] == "DISAGREEMENT"

@@ -1,89 +1,22 @@
 """E12 — Fast-path robustness across the related-work design space.
 
-Section 5 positions this paper between two prior points:
-
-* Kursawe-style optimistic protocols (n = 3f + 1) are two-step only in
-  completely failure-free, timely runs;
-* FaB Paxos is two-step under up to t faults but needs 3f + 2t + 1
-  processes.
-
-This benchmark sweeps "actual silent faults" for every family at f = 2
-and reports the decision latency, showing where each one falls off the
-fast path.  The paper's protocol is the only one that is simultaneously
-(a) at resilience-optimal or near-optimal size and (b) fast under faults.
+Thin wrapper over the ``E12`` registry entry: the family x faults sweep
+lives in ``repro.experiments``.  Section 5 positions this paper between
+Kursawe-style optimistic protocols (two-step only in failure-free runs)
+and FaB Paxos (fast under t faults on 3f + 2t + 1 processes); ours is
+the only family simultaneously near resilience-optimal *and* fast under
+faults.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
 from repro.analysis import format_table
-from repro.baselines.fab import FaBConfig, FaBProcess
-from repro.baselines.optimistic import OptimisticConfig, OptimisticProcess
-from repro.baselines.pbft import PBFTConfig, PBFTProcess
-from repro.byzantine.behaviors import SilentProcess
-from repro.core.config import ProtocolConfig
-from repro.core.generalized import GeneralizedFBFTProcess
-from repro.crypto.keys import KeyRegistry
-from repro.sim.network import RoundSynchronousDelay
-from repro.sim.runner import Cluster
-from repro.sim.trace import message_delays
 
-F = 2
-T = 1
-
-
-def build_family(key, faults):
-    """Build each protocol at its minimum size for f=F (t=T where
-    applicable) with ``faults`` trailing silent processes."""
-    if key == "fbft":
-        config = ProtocolConfig(n=3 * F + 2 * T - 1, f=F, t=T)
-        registry = KeyRegistry.for_processes(config.process_ids)
-        make = lambda pid: GeneralizedFBFTProcess(pid, config, registry, "v")
-        n = config.n
-    elif key == "fab":
-        config = FaBConfig(n=3 * F + 2 * T + 1, f=F, t=T)
-        make = lambda pid: FaBProcess(pid, config, "v")
-        n = config.n
-    elif key == "pbft":
-        config = PBFTConfig(n=3 * F + 1, f=F)
-        make = lambda pid: PBFTProcess(pid, config, "v")
-        n = config.n
-    else:
-        config = OptimisticConfig(n=3 * F + 1, f=F)
-        make = lambda pid: OptimisticProcess(pid, config, "v")
-        n = config.n
-    procs = []
-    for pid in range(n):
-        if pid >= n - faults:
-            procs.append(SilentProcess(pid))
-        else:
-            procs.append(make(pid))
-    return procs, n
-
-
-def robustness_table():
-    rows = []
-    for key, label in [
-        ("fbft", "FBFT gen (ours)"),
-        ("fab", "FaB Paxos"),
-        ("optimistic", "Kursawe-style"),
-        ("pbft", "PBFT"),
-    ]:
-        for faults in range(F + 1):
-            procs, n = build_family(key, faults)
-            cluster = Cluster(procs, delay_model=RoundSynchronousDelay(1.0))
-            correct = range(n - faults)
-            result = cluster.run_until_decided(correct_pids=correct, timeout=200)
-            delays = (
-                message_delays(result.decision_time, 1.0)
-                if result.decided
-                else None
-            )
-            rows.append([label, n, faults, delays])
-    return rows
+F, T = 2, 1  # the registry grid's fixed design point
 
 
 def test_e12_fast_path_robustness(benchmark):
-    rows = benchmark(robustness_table)
+    rows = benchmark(lambda: sections("E12")["main"])
     emit(
         f"E12: decision latency vs silent faults (f={F}, t={T} where "
         "applicable)",

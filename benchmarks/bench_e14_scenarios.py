@@ -1,40 +1,43 @@
 """E14 — Scenario engine: the canonical library and the fuzzer as benchmarks.
 
-Two questions: (1) what does each canonical fault mix cost the protocol
-(latency in message delays, messages, bytes on the wire), and (2) how
-many randomized scenarios per second can the engine chew through — the
-number that bounds how hard CI can fuzz on every push.
+Thin wrapper over the ``E14`` registry entry: one grid point per
+canonical scenario (sharded across workers by the parallel runner) plus
+seed-chunked fuzz campaigns, all through the
+:func:`repro.scenarios.run_scenarios` batch API.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
-from repro.analysis import format_scenario_results
-from repro.scenarios import SCENARIOS, run_fuzz, run_scenario
-
-
-def run_library():
-    return [run_scenario(spec) for spec in SCENARIOS.values()]
+from repro.analysis import format_table
 
 
 def test_e14_canonical_library(benchmark):
-    results = benchmark(run_library)
+    rows = benchmark(lambda: sections("E14", section="library")["library"])
     emit(
         "E14: the canonical scenario library (all oracles must pass)",
-        format_scenario_results(results),
+        format_table(
+            ["scenario", "protocol", "ok", "steps", "msgs", "bytes",
+             "trace digest"],
+            [row[:6] + [row[6][:16]] for row in rows],
+        ),
     )
-    for result in results:
-        assert result.ok, f"{result.spec.name}: {result.failures}"
-    by_name = {result.spec.name: result for result in results}
-    # The library pins the headline latency claims.
-    assert by_name["fast-path-clean"].steps == 2
-    assert by_name["crash-quorum-edge"].steps == 2
-    assert by_name["pbft-clean"].steps == 3
-    assert by_name["fab-fast-path"].steps == 2
-    assert by_name["slow-path-commit"].steps == 3
+    for row in rows:
+        assert row[2], f"{row[0]}: oracle failure"
+    by_name = {row[0]: row for row in rows}
+    # The library pins the headline latency claims (steps column).
+    assert by_name["fast-path-clean"][3] == 2
+    assert by_name["crash-quorum-edge"][3] == 2
+    assert by_name["pbft-clean"][3] == 3
+    assert by_name["fab-fast-path"][3] == 2
+    assert by_name["slow-path-commit"][3] == 3
 
 
 def test_e14_fuzz_throughput(benchmark):
-    report = benchmark(lambda: run_fuzz(seeds=20, shrink=False))
-    emit("E14: fuzz campaign", report.summary())
-    assert report.ok, report.summary()
-    assert report.seeds_run == 20
+    rows = benchmark(lambda: sections("E14", section="fuzz")["fuzz"])
+    emit(
+        "E14: fuzz campaign (seed chunks)",
+        format_table(["start", "seeds", "ok", "failures"], rows),
+    )
+    assert sum(row[1] for row in rows) == 20
+    for start, seeds, ok, failures in rows:
+        assert ok and failures == 0, f"fuzz chunk at seed {start} failed"

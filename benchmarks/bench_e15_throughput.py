@@ -1,11 +1,8 @@
 """E15 — Batched, pipelined SMR throughput (the replication engine).
 
-Drives identical closed-loop client load (4 clients x 16 commands,
-window 8) through the SMR engine across batch/pipeline settings, for our
-protocol and the PBFT baseline, and reports sustained ops per simulated
-time unit, slots consumed, and latency percentiles.
-
-The headline assertions:
+Thin wrapper over the ``E15`` registry entry: the (backend, batch,
+depth) grid and the throughput-vs-offered-load sweep live in
+``repro.experiments``.  The headline assertions:
 
 * batching + pipelining sustains >= 5x the ops/sec of the seed
   single-slot configuration (batch_size = 1, pipeline_depth = 1) at
@@ -20,84 +17,87 @@ Also runnable as a CI smoke check without pytest:
 
 import sys
 
-from conftest import emit
+from conftest import emit, sections
 
-from repro.analysis import format_table, run_smr_throughput
+from repro.analysis import format_table
 
-#: (backend, batch_size, pipeline_depth) grid; the first row is the seed
-#: configuration every speedup is measured against.
-GRID = [
-    ("fbft", 1, 1),
-    ("fbft", 8, 1),
-    ("fbft", 1, 4),
-    ("fbft", 8, 4),
-    ("pbft", 1, 1),
-    ("pbft", 8, 4),
+HEADERS = [
+    "backend", "batch", "depth", "done", "slots", "ops/t", "p50", "p95",
+    "duration",
 ]
 
-HEADERS = ["backend", "batch", "depth", "done", "slots", "ops/t", "p50", "p95"]
+
+def by_config(rows):
+    """Index ``main`` rows by (backend, batch, depth)."""
+    return {(row[0], row[1], row[2]): row for row in rows}
 
 
-def run_grid(clients=4, requests_per_client=16, window=8):
-    results = {}
-    for backend, batch, depth in GRID:
-        results[(backend, batch, depth)] = run_smr_throughput(
-            backend=backend,
-            clients=clients,
-            requests_per_client=requests_per_client,
-            window=window,
-            batch_size=batch,
-            pipeline_depth=depth,
-        )
-    return results
-
-
-def check_headline(results):
+def check_headline(rows):
+    results = by_config(rows)
     seed = results[("fbft", 1, 1)]
     fast = results[("fbft", 8, 4)]
     pbft = results[("pbft", 8, 4)]
-    assert seed.completed == fast.completed, "unequal client load"
-    speedup = fast.ops_per_sec / seed.ops_per_sec
+    assert seed[3] == fast[3], "unequal client load"
+    speedup = fast[5] / seed[5]  # ops/t column
     assert speedup >= 5.0, f"batched+pipelined speedup only {speedup:.2f}x"
-    assert fast.ops_per_sec > pbft.ops_per_sec, "FBFT should beat PBFT"
-    assert fast.latency.p50 < pbft.latency.p50
+    assert fast[5] > pbft[5], "FBFT should beat PBFT"
+    assert fast[6] < pbft[6]  # p50
     return speedup
 
 
 def test_e15_throughput_grid(benchmark):
-    results = benchmark(run_grid)
+    rows = benchmark(lambda: sections("E15", section="main")["main"])
     emit(
         "E15: batched+pipelined SMR throughput, 4 closed-loop clients x 16 cmds",
-        format_table(HEADERS, [r.row() for r in results.values()]),
+        format_table(HEADERS, rows),
     )
-    speedup = check_headline(results)
-    assert all(r.completed == 64 for r in results.values())
+    speedup = check_headline(rows)
+    assert all(row[3] == 64 for row in rows)
     # Batching collapses the log: 64 commands fit in ~8 slots.
-    assert results[("fbft", 8, 4)].slots_used <= 16
+    assert by_config(rows)[("fbft", 8, 4)][4] <= 16
+
+
+def test_e15_scales_with_offered_load(benchmark):
+    """The ``load`` sweep: at batch 8 / depth 4 the engine's ops/t keeps
+    growing with the client count; the seed config plateaus."""
+    rows = benchmark(lambda: sections("E15", section="load")["load"])
+    emit(
+        "E15b: throughput vs offered load (clients x 16 commands)",
+        format_table(
+            ["backend", "batch", "depth", "clients", "done", "slots",
+             "ops/t", "p95"],
+            rows,
+        ),
+    )
+    batched = [row for row in rows if row[1] == 8]
+    seed = [row for row in rows if row[1] == 1]
+    assert [row[6] for row in batched] == sorted(row[6] for row in batched)
+    for batched_row, seed_row in zip(batched, seed):
+        assert batched_row[6] > 5 * seed_row[6]
 
 
 def test_e15_latency_percentiles_flat_under_batching(benchmark):
     """Batching must not trade tail latency away: with the pipeline deep
-    enough for the window, p95 stays at the 4-delay command minimum."""
-    result = benchmark(
-        lambda: run_smr_throughput(
-            backend="fbft", clients=2, requests_per_client=8,
-            window=8, batch_size=8, pipeline_depth=4,
-        )
+    enough for the window, p95 stays near the 4-delay command minimum."""
+    rows = benchmark(
+        lambda: sections("E15", quick=True, backend="fbft", batch=8, depth=4)[
+            "main"
+        ]
     )
-    assert result.latency.p95 <= 2 * result.latency.p50
+    (row,) = rows
+    assert row[7] <= 2 * row[6]  # p95 <= 2 * p50
 
 
 def main(argv):
     quick = "--quick" in argv
-    if quick:
-        results = run_grid(clients=2, requests_per_client=8, window=8)
-    else:
-        results = run_grid()
+    rows = sections("E15", quick=quick)["main"]
     print("E15: batched+pipelined SMR throughput")
-    print(format_table(HEADERS, [r.row() for r in results.values()]))
-    speedup = check_headline(results)
-    print(f"\nbatched+pipelined fbft speedup over seed config: {speedup:.2f}x (>= 5x required)")
+    print(format_table(HEADERS, rows))
+    speedup = check_headline(rows)
+    print(
+        f"\nbatched+pipelined fbft speedup over seed config: "
+        f"{speedup:.2f}x (>= 5x required)"
+    )
     return 0
 
 

@@ -205,7 +205,7 @@ class _LegacyNetwork:
 
 # ---------------------------------------------------------------------------
 # Measurement harness.  The workload drivers live in
-# ``repro.analysis.profiling`` (shared with the `experiments profile` CLI
+# ``repro.analysis.profiling`` (shared with the E16 registry entry's CLI
 # verb); here they are pointed at either core via the factory parameter.
 # ---------------------------------------------------------------------------
 
@@ -219,35 +219,36 @@ def _legacy_sim_net():
     return sim, _LegacyNetwork(sim, delay_model=SynchronousDelay(1.0))
 
 
-#: workload name -> (fast thunk, legacy thunk), per mode.
-def _workloads(quick: bool):
+#: workload name -> legacy thunk, per mode.  The *fast* (current-core)
+#: side of every workload is measured by the E16 registry entry
+#: (`repro.experiments`), so this script and the experiment CLI can never
+#: drift apart; only the measuring stick lives here.
+def _legacy_workloads(quick: bool):
     churn, timers, n, rounds = E16_QUICK_PARAMS if quick else E16_FULL_PARAMS
     return {
-        "event_churn": (
-            lambda: event_churn(churn),
-            lambda: event_churn(churn, sim_factory=_legacy_sim),
-        ),
-        "timer_churn": (
-            lambda: timer_churn(timers),
-            lambda: timer_churn(timers, sim_factory=_legacy_sim),
-        ),
-        "broadcast_storm": (
-            lambda: broadcast_storm(n, rounds),
-            lambda: broadcast_storm(n, rounds, sim_net_factory=_legacy_sim_net),
+        "event_churn": lambda: event_churn(churn, sim_factory=_legacy_sim),
+        "timer_churn": lambda: timer_churn(timers, sim_factory=_legacy_sim),
+        "broadcast_storm": lambda: broadcast_storm(
+            n, rounds, sim_net_factory=_legacy_sim_net
         ),
     }
 
 
-def _best(fn, repeats: int = 3) -> float:
+def _best(fn, repeats: int = 2) -> float:
     return max(fn() for _ in range(repeats))
 
 
-def run_comparison(quick: bool = False, repeats: int = 3):
-    """Measure fast vs legacy core on every workload; return result dict."""
+def run_comparison(quick: bool = False, repeats: int = 2):
+    """Measure fast (via the E16 registry grid) vs legacy core on every
+    workload; return the comparison dict."""
+    from repro.experiments import run_sections
+
+    fast_rows = run_sections("E16", quick=quick)["main"]
+    fast_by_name = {workload: eps for workload, eps in fast_rows}
     results = {}
-    for name, (fast_fn, legacy_fn) in _workloads(quick).items():
-        fast = _best(fast_fn, repeats)
+    for name, legacy_fn in _legacy_workloads(quick).items():
         legacy = _best(legacy_fn, repeats)
+        fast = fast_by_name[name]
         results[name] = {
             "fast_events_per_sec": fast,
             "legacy_events_per_sec": legacy,

@@ -1,9 +1,9 @@
 """E1 — Resilience table (Section 1 / Table-equivalent of the paper).
 
-Regenerates the paper's headline comparison: the minimum number of
-processes each protocol needs per (f, t), plus an empirical check that
-each protocol actually decides (with its claimed latency) at exactly that
-size.  The paper's rows to look for:
+Thin wrapper over the ``E1`` registry entry (``repro.experiments``):
+the (f, t) sweep, the dedup of collapsing t-axis points and the
+minimum-deployment verification all live in the registry driver.  The
+paper's rows to look for:
 
 * f = t = 1: ours 4 (optimal for any partially synchronous Byzantine
   consensus) vs FaB's 6;
@@ -12,47 +12,21 @@ size.  The paper's rows to look for:
   resilience.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
-from repro.analysis import PROTOCOLS, build_protocol, format_table, run_common_case
-
-
-def resilience_rows(max_f=8):
-    rows = []
-    for f in range(1, max_f + 1):
-        for t in (1, max(1, f // 2), f):
-            if t > f:
-                continue
-            row = [f, t]
-            for key in ("fbft", "fab", "pbft", "paxos"):
-                row.append(PROTOCOLS[key].min_n(f, t))
-            if row not in [r for r in rows]:
-                rows.append(row)
-    return rows
-
-
-def verify_minimum_deployments(max_f=3):
-    """Run each protocol at its minimum size; record observed delays."""
-    observed = []
-    for f in range(1, max_f + 1):
-        for key, spec in PROTOCOLS.items():
-            t = f if spec.parameterized_by_t else f
-            result = run_common_case(build_protocol(key, f=f, t=t))
-            observed.append(
-                [spec.name, f, spec.min_n(f, t), result.delays, result.decided]
-            )
-    return observed
+from repro.analysis import PROTOCOLS, format_table
 
 
 def test_e1_resilience_table(benchmark):
-    rows = benchmark(resilience_rows)
+    rows = benchmark(lambda: sections("E1", section="table")["table"])
     emit(
         "E1: minimum processes per protocol (paper Section 1/3.4)",
         format_table(
             ["f", "t", "FBFT (ours)", "FaB", "PBFT", "Paxos(crash)"], rows
         ),
     )
-    by_ft = {(r[0], r[1]): r for r in rows}
+    by_ft = {(row[0], row[1]): row for row in rows}
+    assert len(rows) == len(by_ft)  # the registry grid is deduped on (f, t)
     assert by_ft[(1, 1)][2] == 4  # the paper's headline
     assert by_ft[(1, 1)][3] == 6
     for (f, t), row in by_ft.items():
@@ -60,12 +34,27 @@ def test_e1_resilience_table(benchmark):
 
 
 def test_e1_minimum_deployments_decide(benchmark):
-    observed = benchmark(verify_minimum_deployments)
+    rows = benchmark(lambda: sections("E1", section="deploy")["deploy"])
     emit(
         "E1b: empirical check at minimum deployment sizes",
-        format_table(["protocol", "f", "n", "delays", "decided"], observed),
+        format_table(["protocol", "f", "t", "n", "delays", "decided"], rows),
     )
-    for name, f, n, delays, decided in observed:
+    for name, f, t, n, delays, decided in rows:
         assert decided
         expected = 3 if name == "PBFT" else 2
         assert delays == expected, (name, f)
+
+
+def test_e1_deployments_use_the_right_t():
+    """Regression for the seed bug: ``t = f if parameterized_by_t else f``
+    exercised non-t-parameterized protocols at t = f.  The registry entry
+    records the t each deployment actually uses: t = f only for the
+    families that have a fast-threshold knob."""
+    rows = sections("E1", section="deploy")["deploy"]
+    by_name = {spec.name: spec for spec in PROTOCOLS.values()}
+    assert any(row[1] > 1 for row in rows)  # sweep reaches f >= 2
+    for name, f, t, n, delays, decided in rows:
+        if by_name[name].parameterized_by_t:
+            assert t == f, (name, f, t)
+        else:
+            assert t == 1, (name, f, t)

@@ -1,51 +1,23 @@
 """E2 — Fast path (Figure 1a): two message delays in the common case.
 
-Regenerates the execution of Figure 1a across deployment sizes: the
-leader proposes, everyone acknowledges, everyone decides at exactly
-2 * DELTA.  Also reports the message cost (n proposes + n^2 acks).
+Thin wrapper over the ``E2`` registry entry: the deployment-size sweep
+lives in ``repro.experiments``.  The claim: the leader proposes,
+everyone acknowledges, everyone decides at exactly 2 * DELTA, at a
+message cost of n proposes + n^2 acks.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
-from repro.analysis import format_table, run_common_case
-from repro.core.config import ProtocolConfig
-from repro.core.fastbft import FastBFTProcess
-from repro.crypto.keys import KeyRegistry
-
-
-def build(n, f):
-    config = ProtocolConfig(n=n, f=f)
-    registry = KeyRegistry.for_processes(config.process_ids)
-    return [
-        FastBFTProcess(pid, config, registry, "value")
-        for pid in config.process_ids
-    ]
-
-
-def fast_path_series():
-    rows = []
-    for f in (1, 2, 3, 4):
-        n = 5 * f - 1
-        result = run_common_case(build(n, f))
-        rows.append(
-            [
-                n,
-                f,
-                result.delays,
-                result.messages,
-                result.messages_by_type.get("Propose", 0),
-                result.messages_by_type.get("Ack", 0),
-            ]
-        )
-    return rows
+from repro.analysis import format_table
 
 
 def test_e2_fast_path_two_delays(benchmark):
-    rows = benchmark(fast_path_series)
+    rows = benchmark(lambda: sections("E2")["main"])
     emit(
         "E2: fast path latency and message cost (Figure 1a)",
         format_table(["n", "f", "delays", "msgs", "propose", "ack"], rows),
     )
+    assert len(rows) == 4
     for n, f, delays, msgs, proposes, acks in rows:
         assert delays == 2
         assert proposes == n
@@ -54,5 +26,5 @@ def test_e2_fast_path_two_delays(benchmark):
 
 def test_e2_single_run_speed(benchmark):
     """Wall-clock cost of simulating one n=9 common-case instance."""
-    result = benchmark(lambda: run_common_case(build(9, 2)))
-    assert result.delays == 2
+    rows = benchmark(lambda: sections("E2", f=2)["main"])
+    assert rows[0][2] == 2  # delays

@@ -1,76 +1,18 @@
 """E3 — View change (Figure 1b): recovery cost and bounded certificates.
 
-Regenerates the Figure 1b flow: leader crash -> votes -> CertReq/CertAck
--> certified proposal -> decision.  The paper's point measured here: the
+Thin wrapper over the ``E3`` registry entry: the crash/recovery grid
+lives in ``repro.experiments``.  The paper's point measured here: the
 progress certificate contains exactly f + 1 signatures, *independent of
 the view number* (contrast experiment E7).
 """
 
-from conftest import emit
+from conftest import emit, sections
 
 from repro.analysis import format_table
-from repro.core.config import ProtocolConfig
-from repro.core.fastbft import FastBFTProcess
-from repro.core.messages import Propose
-from repro.crypto.keys import KeyRegistry
-from repro.sim.network import SynchronousDelay
-from repro.sim.runner import Cluster
-
-
-def run_view_change(n, f, crashes):
-    config = ProtocolConfig(n=n, f=f)
-    registry = KeyRegistry.for_processes(config.process_ids)
-    procs = [
-        FastBFTProcess(pid, config, registry, f"v{pid}")
-        for pid in config.process_ids
-    ]
-    cluster = Cluster(procs, delay_model=SynchronousDelay(1.0))
-    for pid in range(crashes):
-        procs[pid].crash()
-    correct = list(range(crashes, n))
-    result = cluster.run_until_decided(correct_pids=correct, timeout=2000)
-    cert_sizes = [
-        len(env.payload.cert.signatures)
-        for env in cluster.trace.sends
-        if isinstance(env.payload, Propose)
-        and env.payload.view > 1
-        and env.payload.cert is not None
-    ]
-    kinds = cluster.trace.messages_by_type()
-    return {
-        "decided": result.decided,
-        "value": result.decision_value,
-        "time": result.decision_time,
-        "deciding_view": crashes + 1,
-        "votes": kinds.get("Vote", 0),
-        "certreqs": kinds.get("CertRequest", 0),
-        "certacks": kinds.get("CertAck", 0),
-        "cert_sizes": cert_sizes,
-    }
-
-
-def view_change_table():
-    rows = []
-    for n, f, crashes in [(4, 1, 1), (9, 2, 1), (9, 2, 2), (14, 3, 3)]:
-        r = run_view_change(n, f, crashes)
-        rows.append(
-            [
-                n,
-                f,
-                crashes,
-                r["decided"],
-                r["time"],
-                r["votes"],
-                r["certacks"],
-                max(r["cert_sizes"]) if r["cert_sizes"] else 0,
-                f + 1,
-            ]
-        )
-    return rows
 
 
 def test_e3_view_change_recovers_with_bounded_certs(benchmark):
-    rows = benchmark(view_change_table)
+    rows = benchmark(lambda: sections("E3")["main"])
     emit(
         "E3: view change recovery (Figure 1b); cert size must equal f+1",
         format_table(
@@ -81,11 +23,12 @@ def test_e3_view_change_recovers_with_bounded_certs(benchmark):
             rows,
         ),
     )
+    assert len(rows) == 4
     for row in rows:
         assert row[3]  # decided
         assert row[7] == row[8]  # certificate size == f + 1, view-independent
 
 
 def test_e3_single_view_change_speed(benchmark):
-    result = benchmark(lambda: run_view_change(4, 1, 1))
-    assert result["decided"]
+    rows = benchmark(lambda: sections("E3", n=4)["main"])
+    assert rows[0][3]  # decided

@@ -1,59 +1,22 @@
 """E4 — The lower bound, executable (Figures 2-4, Theorem 4.5).
 
-Two artifacts:
+Thin wrapper over the ``E4`` registry entry, which produces two sections:
 
-1. The quorum-intersection sweep: the analytic properties the safety
-   proof needs hold at n = 3f + 2t - 1 and fail at 3f + 2t - 2 — the
-   paper's counting argument as a table.
-2. The splice attack: the *same* Byzantine strategy is harmless at the
-   bound and forces two correct processes to decide different values one
-   process below it.  This is the paper's headline correction of FaB's
-   3f + 2t + 1 claim, demonstrated on running code.
+1. ``quorums`` — the analytic properties the safety proof needs hold at
+   n = 3f + 2t - 1 and fail at 3f + 2t - 2, the paper's counting
+   argument as a table;
+2. ``splice`` — the *same* Byzantine strategy is harmless at the bound
+   and forces disagreement one process below it: the paper's headline
+   correction of FaB's 3f + 2t + 1 claim, on running code.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
 from repro.analysis import format_table
-from repro.core.quorums import min_processes_fast_bft, quorum_report
-from repro.lowerbound import run_splice_attack
-
-
-def qi_sweep():
-    rows = []
-    for f, t in [(1, 1), (2, 1), (2, 2), (3, 2), (3, 3), (4, 4)]:
-        bound = min_processes_fast_bft(f, t)
-        for n in (bound - 1, bound, bound + 1):
-            report = quorum_report(n, f, t)
-            rows.append(
-                [
-                    f, t, n,
-                    "yes" if report.meets_bound else "NO",
-                    report.qi1, report.qi2, report.qi3,
-                    report.fast_vote_overlap, f + t,
-                ]
-            )
-    return rows
-
-
-def splice_table():
-    rows = []
-    for f, t in [(2, 2), (3, 3), (3, 2), (2, 1)]:
-        bound = min_processes_fast_bft(f, t)
-        below = run_splice_attack(f=f, t=t, n=bound - 1)
-        at = run_splice_attack(f=f, t=t, n=bound)
-        rows.append(
-            [
-                f, t, bound - 1,
-                "DISAGREEMENT" if below.violated else "safe",
-                bound,
-                "DISAGREEMENT" if at.violated else "safe",
-            ]
-        )
-    return rows
 
 
 def test_e4_quorum_boundary_sweep(benchmark):
-    rows = benchmark(qi_sweep)
+    rows = benchmark(lambda: sections("E4", section="quorums")["quorums"])
     emit(
         "E4a: quorum-intersection properties around the bound",
         format_table(
@@ -70,18 +33,21 @@ def test_e4_quorum_boundary_sweep(benchmark):
 
 
 def test_e4_splice_attack_flips_at_bound(benchmark):
-    rows = benchmark(splice_table)
+    rows = benchmark(lambda: sections("E4", section="splice")["splice"])
     emit(
         "E4b: splice adversary vs our protocol (Theorem 4.5, executable)",
         format_table(
             ["f", "t", "n=3f+2t-2", "outcome", "n=3f+2t-1", "outcome"], rows
         ),
     )
+    assert len(rows) == 4
     for f, t, n_below, below, n_at, at in rows:
         assert at == "safe"
         assert below == "DISAGREEMENT"
 
 
 def test_e4_attack_run_speed(benchmark):
-    outcome = benchmark(lambda: run_splice_attack(f=2, t=2, n=8))
-    assert outcome.violated
+    rows = benchmark(
+        lambda: sections("E4", section="splice", f=2, t=2)["splice"]
+    )
+    assert rows[0][3] == "DISAGREEMENT"  # below the bound

@@ -1,55 +1,19 @@
 """E5 — The slow path (Figure 5, Appendix A).
 
-Regenerates Figure 5's configuration — n = 7, f = 2, t = 1 — and the
-surrounding claim: with at most t faults the generalized protocol decides
-in 2 message delays (fast path, n - t acks); with between t + 1 and f
-faults it decides in 3 (commit certificates + Commit quorum).
+Thin wrapper over the ``E5`` registry entry: the (n, f, t) x faults grid
+lives in ``repro.experiments``.  The claim: with at most t faults the
+generalized protocol decides in 2 message delays (fast path, n - t
+acks); with between t + 1 and f faults it decides in 3 (commit
+certificates + Commit quorum).
 """
 
-from conftest import emit
+from conftest import emit, sections
 
 from repro.analysis import format_table
-from repro.byzantine.behaviors import SilentProcess
-from repro.core.config import ProtocolConfig
-from repro.core.generalized import GeneralizedFBFTProcess
-from repro.crypto.keys import KeyRegistry
-from repro.sim.network import RoundSynchronousDelay
-from repro.sim.runner import Cluster
-from repro.sim.trace import message_delays
-
-
-def run_with_faults(n, f, t, faults):
-    config = ProtocolConfig(n=n, f=f, t=t)
-    registry = KeyRegistry.for_processes(config.process_ids)
-    procs = []
-    for pid in config.process_ids:
-        if pid >= n - faults:
-            procs.append(SilentProcess(pid))
-        else:
-            procs.append(GeneralizedFBFTProcess(pid, config, registry, "v"))
-    cluster = Cluster(procs, delay_model=RoundSynchronousDelay(1.0))
-    correct = list(range(n - faults))
-    result = cluster.run_until_decided(correct_pids=correct, timeout=100)
-    kinds = cluster.trace.messages_by_type()
-    return {
-        "delays": message_delays(result.decision_time, 1.0),
-        "commits": kinds.get("Commit", 0),
-        "acksigs": kinds.get("AckSig", 0),
-    }
-
-
-def figure5_table():
-    rows = []
-    for n, f, t in [(7, 2, 1), (12, 3, 2), (4, 1, 1)]:
-        for faults in range(f + 1):
-            r = run_with_faults(n, f, t, faults)
-            path = "fast" if r["delays"] == 2 else "slow"
-            rows.append([n, f, t, faults, r["delays"], path, r["commits"]])
-    return rows
 
 
 def test_e5_slow_path_latency(benchmark):
-    rows = benchmark(figure5_table)
+    rows = benchmark(lambda: sections("E5")["main"])
     emit(
         "E5: generalized protocol latency vs actual faults (Figure 5)",
         format_table(
@@ -65,6 +29,7 @@ def test_e5_slow_path_latency(benchmark):
 
 def test_e5_figure5_exact_configuration(benchmark):
     """The exact Figure 5 deployment: n=7, f=2, t=1, 2 failures."""
-    result = benchmark(lambda: run_with_faults(7, 2, 1, 2))
-    assert result["delays"] == 3
-    assert result["commits"] > 0
+    rows = benchmark(lambda: sections("E5", n=7, faults=2)["main"])
+    (row,) = rows
+    assert row[4] == 3  # delays
+    assert row[6] > 0  # Commit messages flowed

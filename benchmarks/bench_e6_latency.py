@@ -1,57 +1,22 @@
 """E6 — Common-case latency comparison (the paper's motivating gap).
 
-Section 1: crash consensus (Paxos) decides in 2 delays, classic
-Byzantine consensus (PBFT) in 3, and fast Byzantine consensus closes the
-gap.  We measure wall-clock simulated latency under randomized per-
-message delays (uniform 0.5-1.5 time units) over many seeded runs, so
-the 2-vs-3 hop difference shows up as a distribution shift, and under
-lock-step rounds for the exact message-delay counts.
+Thin wrapper over the ``E6`` registry entry: the seeded-random-delay
+sweeps live in ``repro.experiments``.  Section 1: crash consensus
+(Paxos) decides in 2 delays, classic Byzantine consensus (PBFT) in 3,
+and fast Byzantine consensus closes the gap — the 2-vs-3 hop difference
+shows up as a distribution shift over many seeded runs.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
-from repro.analysis import (
-    PROTOCOLS,
-    Stats,
-    build_protocol,
-    format_table,
-    repeat_latency,
-    run_common_case,
-)
-from repro.sim.network import RandomDelay
-
-RUNS = 25
-
-
-def latency_distributions(f=1):
-    rows = []
-    for key in ("fbft", "fab", "pbft", "paxos"):
-        stats = repeat_latency(
-            lambda key=key: build_protocol(key, f=f),
-            runs=RUNS,
-            delay_model_factory=lambda run: RandomDelay(0.5, 1.5, seed=run),
-        )
-        delays = run_common_case(build_protocol(key, f=f)).delays
-        rows.append(
-            [
-                PROTOCOLS[key].name,
-                PROTOCOLS[key].min_n(f, f),
-                delays,
-                round(stats.mean, 3),
-                round(stats.p50, 3),
-                round(stats.p95, 3),
-            ]
-        )
-    return rows
+from repro.analysis import format_table
 
 
 def test_e6_latency_comparison(benchmark):
-    rows = benchmark(latency_distributions)
+    rows = benchmark(lambda: sections("E6", section="latency")["latency"])
     emit(
-        f"E6: common-case latency, f=1, {RUNS} seeded runs of random delays",
-        format_table(
-            ["protocol", "n", "delays", "mean", "p50", "p95"], rows
-        ),
+        "E6: common-case latency, f=1, 25 seeded runs of random delays",
+        format_table(["protocol", "n", "delays", "mean", "p50", "p95"], rows),
     )
     by_name = {row[0]: row for row in rows}
     ours = by_name["FBFT (this paper)"]
@@ -66,21 +31,7 @@ def test_e6_latency_comparison(benchmark):
 
 
 def test_e6_scaling_with_f(benchmark):
-    def sweep():
-        rows = []
-        for f in (1, 2, 3):
-            row = [f]
-            for key in ("fbft", "pbft"):
-                stats = repeat_latency(
-                    lambda key=key, f=f: build_protocol(key, f=f),
-                    runs=10,
-                    delay_model_factory=lambda run: RandomDelay(0.5, 1.5, seed=run),
-                )
-                row.append(round(stats.mean, 3))
-            rows.append(row)
-        return rows
-
-    rows = benchmark(sweep)
+    rows = benchmark(lambda: sections("E6", section="scaling")["scaling"])
     emit(
         "E6b: mean latency vs f (ours vs PBFT)",
         format_table(["f", "FBFT mean", "PBFT mean"], rows),

@@ -1,74 +1,31 @@
 """E7 — Progress-certificate size across view changes (Section 3.2).
 
-The paper's argument for the extra CertReq/CertAck round-trip: the naive
+Thin wrapper over the ``E7`` registry entry: the forced view-change
+chains (per certificate scheme) live in ``repro.experiments``.  The
+paper's argument for the extra CertReq/CertAck round-trip: the naive
 "certificate = the vote set" scheme grows without bound across view
-changes (linear in the view number if shared sub-certificates are
-deduplicated, exponential if serialized naively), while the bounded
-scheme stays at f + 1 signatures forever.
-
-This benchmark drives both protocol variants through a chain of forced
-view changes and measures the certificate attached to each view's
-proposal: total signatures (naive wire size), distinct signatures
-(deduplicated size), and the bounded scheme's constant f + 1.
+changes, while the bounded scheme stays at f + 1 signatures forever.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
 from repro.analysis import format_table
-from repro.core.config import ProtocolConfig
-from repro.core.fastbft import FastBFTProcess
-from repro.core.messages import Propose
-from repro.core.naive_certs import (
-    certificate_distinct_signatures,
-    certificate_signature_count,
-)
-from repro.crypto.keys import KeyRegistry
-from repro.sim.network import SynchronousDelay
-from repro.sim.runner import Cluster
 
 
-def chain_of_view_changes(cert_scheme, views, n=4, f=1):
-    """Force `views` successive view changes; return per-view cert sizes."""
-    config = ProtocolConfig(n=n, f=f)
-    registry = KeyRegistry.for_processes(config.process_ids)
-    procs = [
-        FastBFTProcess(
-            pid, config, registry, f"v{pid}",
-            cert_scheme=cert_scheme, pacemaker_enabled=False,
-        )
-        for pid in config.process_ids
-    ]
-    cluster = Cluster(procs, delay_model=SynchronousDelay(1.0))
-    cluster.start()
-    cluster.sim.run(until=3.0)  # view 1 completes
-    for view in range(2, views + 2):
-        for proc in procs:
-            proc.enter_view(view)
-        cluster.sim.run(until=cluster.sim.now + 8.0)
-    sizes = {}
-    for env in cluster.trace.sends:
-        payload = env.payload
-        if isinstance(payload, Propose) and payload.cert is not None:
-            sizes[payload.view] = (
-                certificate_signature_count(payload.cert),
-                certificate_distinct_signatures(payload.cert),
-            )
-    return dict(sorted(sizes.items()))
-
-
-def cert_growth_table(views=6):
-    naive = chain_of_view_changes("naive", views)
-    bounded = chain_of_view_changes("bounded", views)
-    rows = []
+def _pivot(rows):
+    """``certs`` rows [scheme, view, total, distinct] -> the comparison
+    table [view, naive total, naive distinct, bounded total]."""
+    naive = {row[1]: (row[2], row[3]) for row in rows if row[0] == "naive"}
+    bounded = {row[1]: (row[2], row[3]) for row in rows if row[0] == "bounded"}
+    table = []
     for view in sorted(naive):
         total, distinct = naive[view]
-        btotal = bounded.get(view, (0, 0))[0]
-        rows.append([view, total, distinct, btotal])
-    return rows
+        table.append([view, total, distinct, bounded.get(view, (0, 0))[0]])
+    return table
 
 
 def test_e7_certificate_growth(benchmark):
-    rows = benchmark(cert_growth_table)
+    rows = benchmark(lambda: _pivot(sections("E7")["certs"]))
     emit(
         "E7: certificate size (signatures) per view — naive vs bounded",
         format_table(
@@ -90,5 +47,5 @@ def test_e7_certificate_growth(benchmark):
 
 
 def test_e7_naive_chain_speed(benchmark):
-    sizes = benchmark(lambda: chain_of_view_changes("naive", 4))
-    assert sizes
+    rows = benchmark(lambda: sections("E7", quick=True, scheme="naive")["certs"])
+    assert rows

@@ -1,78 +1,28 @@
 """E8 — State machine replication (Section 1.1, the paper's motivation).
 
-Runs a replicated KV store over the consensus core and reports
-end-to-end command latency (in simulated message delays) and commands
-completed, for our protocol and for a PBFT-backed SMR.  The paper's
-shape: command latency = 1 (request) + common-case consensus latency +
-1 (reply), so ours beats a PBFT-backed SMR by one message delay per
-command.
+Thin wrapper over the ``E8`` registry entry: the backend comparison and
+the leader-crash failover run live in ``repro.experiments``.  The
+paper's shape: command latency = 1 (request) + common-case consensus
+latency + 1 (reply), so ours beats a PBFT-backed SMR by one message
+delay per command.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
-from repro.analysis import Stats, format_table
-from repro.baselines.pbft import PBFTConfig, PBFTProcess
-from repro.core.config import ProtocolConfig
-from repro.crypto.keys import KeyRegistry
-from repro.sim.network import SynchronousDelay
-from repro.sim.runner import Cluster
-from repro.smr import KVStore, SMRClient, SMRReplica, fbft_instance_factory
+from repro.analysis import format_table
 
 COMMANDS = 15
 
 
-def pbft_instance_factory(config):
-    def factory(pid, slot, input_value):
-        return PBFTProcess(pid, config, input_value)
-
-    return factory
-
-
-def run_smr(protocol, n, f, commands=COMMANDS):
-    if protocol == "fbft":
-        config = ProtocolConfig(n=n, f=f, t=1)
-        registry = KeyRegistry.for_processes(range(n))
-        factory = fbft_instance_factory(config, registry)
-    else:
-        factory = pbft_instance_factory(PBFTConfig(n=n, f=f))
-    replicas = [SMRReplica(pid, n, f, KVStore(), factory) for pid in range(n)]
-    client = SMRClient(pid=n, replica_pids=range(n), f=f)
-    client.load_workload([("set", f"key{i}", i) for i in range(commands)])
-    cluster = Cluster(replicas + [client], delay_model=SynchronousDelay(1.0))
-    cluster.start()
-    cluster.sim.run_until(lambda: client.all_completed, timeout=10_000)
-    stats = Stats.from_values(client.latencies())
-    assert len({r.log for r in replicas}) == 1  # identical logs
-    return {
-        "completed": client.completed_count,
-        "mean_latency": stats.mean,
-        "p95_latency": stats.p95,
-        "total_time": cluster.sim.now,
-        "throughput": client.completed_count / cluster.sim.now,
-    }
-
-
-def smr_comparison():
-    rows = []
-    for protocol, n, f in [("fbft", 4, 1), ("pbft", 4, 1), ("fbft", 7, 2)]:
-        r = run_smr(protocol, n, f)
-        rows.append(
-            [
-                protocol, n, f, r["completed"],
-                round(r["mean_latency"], 2),
-                round(r["p95_latency"], 2),
-                round(r["throughput"], 4),
-            ]
-        )
-    return rows
-
-
 def test_e8_smr_throughput_latency(benchmark):
-    rows = benchmark(smr_comparison)
+    rows = benchmark(
+        lambda: sections("E8", section="comparison")["comparison"]
+    )
     emit(
         f"E8: replicated KV store, {COMMANDS} closed-loop commands",
         format_table(
-            ["backend", "n", "f", "done", "mean lat", "p95 lat", "cmds/time"],
+            ["backend", "n", "f", "done", "mean lat", "p95 lat",
+             "cmds/time", "logs equal"],
             rows,
         ),
     )
@@ -83,29 +33,13 @@ def test_e8_smr_throughput_latency(benchmark):
     # 4 delays per command (ours) vs 5 (PBFT): one hop cheaper.
     assert ours[4] == 4.0
     assert pbft[4] == 5.0
+    assert all(row[7] for row in rows)  # identical logs everywhere
 
 
 def test_e8_smr_failover(benchmark):
     """Throughput survives a leader crash mid-run."""
-
-    def run_with_crash():
-        n, f = 4, 1
-        config = ProtocolConfig(n=n, f=f, t=1)
-        registry = KeyRegistry.for_processes(range(n))
-        factory = fbft_instance_factory(config, registry)
-        replicas = [
-            SMRReplica(pid, n, f, KVStore(), factory) for pid in range(n)
-        ]
-        client = SMRClient(pid=n, replica_pids=range(n), f=f)
-        client.load_workload([("set", f"k{i}", i) for i in range(8)])
-        cluster = Cluster(
-            replicas + [client], delay_model=SynchronousDelay(1.0)
-        )
-        cluster.start()
-        cluster.sim.schedule(10.0, replicas[0].crash)
-        cluster.sim.run_until(lambda: client.all_completed, timeout=10_000)
-        assert len({r.log for r in replicas[1:]}) == 1
-        return client.completed_count
-
-    completed = benchmark(run_with_crash)
+    rows = benchmark(lambda: sections("E8", section="failover")["failover"])
+    (row,) = rows
+    completed, surviving_log_values = row
     assert completed == 8
+    assert surviving_log_values == 1  # the survivors agree on one log

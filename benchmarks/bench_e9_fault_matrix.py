@@ -1,67 +1,20 @@
 """E9 — Fault matrix: latency as a function of fault count and kind.
 
-Section 3.4's claim, swept: the generalized protocol with parameters
-(f, t) decides in 2 message delays whenever the actual number of faults
-is <= t, in 3 via the slow path when t < faults <= f (non-leader
-faults), and recovers through a view change when the faults include the
-leader.  This is also the ablation for the fast-quorum choice n - t: the
-crossover between fast and slow path must sit exactly at t.
+Thin wrapper over the ``E9`` registry entry: the (f, t) x faults x
+leader grid lives in ``repro.experiments``.  Section 3.4's claim,
+swept: 2 delays whenever faults <= t, 3 via the slow path when
+t < faults <= f (non-leader faults), view-change recovery when the
+faults include the leader — and the fast/slow crossover sits exactly
+at t.
 """
 
-from conftest import emit
+from conftest import emit, sections
 
 from repro.analysis import format_table
-from repro.byzantine.behaviors import SilentProcess
-from repro.core.config import ProtocolConfig
-from repro.core.generalized import GeneralizedFBFTProcess
-from repro.crypto.keys import KeyRegistry
-from repro.sim.network import SynchronousDelay
-from repro.sim.runner import Cluster
-from repro.sim.trace import message_delays
-
-
-def run_cell(f, t, faults, leader_faulty):
-    n = max(3 * f + 2 * t - 1, 3 * f + 1)
-    config = ProtocolConfig(n=n, f=f, t=t)
-    registry = KeyRegistry.for_processes(config.process_ids)
-    faulty = set()
-    if leader_faulty and faults > 0:
-        faulty.add(0)
-    while len(faulty) < faults:
-        faulty.add(n - 1 - len(faulty))
-    procs = []
-    for pid in config.process_ids:
-        if pid in faulty:
-            procs.append(SilentProcess(pid))
-        else:
-            procs.append(GeneralizedFBFTProcess(pid, config, registry, "v"))
-    cluster = Cluster(procs, delay_model=SynchronousDelay(1.0))
-    correct = [pid for pid in config.process_ids if pid not in faulty]
-    result = cluster.run_until_decided(correct_pids=correct, timeout=2000)
-    return n, result.decided, result.decision_time
-
-
-def fault_matrix():
-    rows = []
-    for f, t in [(2, 1), (2, 2), (3, 1), (3, 2)]:
-        for faults in range(f + 1):
-            n, decided, time = run_cell(f, t, faults, leader_faulty=False)
-            delays = message_delays(time, 1.0) if decided else None
-            path = (
-                "fast" if delays == 2
-                else "slow" if delays == 3
-                else "view-change"
-            )
-            rows.append([f, t, n, faults, "non-leader", delays, path])
-        n, decided, time = run_cell(f, t, 1, leader_faulty=True)
-        rows.append(
-            [f, t, n, 1, "leader", message_delays(time, 1.0), "view-change"]
-        )
-    return rows
 
 
 def test_e9_fault_matrix(benchmark):
-    rows = benchmark(fault_matrix)
+    rows = benchmark(lambda: sections("E9", section="matrix")["matrix"])
     emit(
         "E9: latency (message delays) vs fault count and kind",
         format_table(
@@ -81,13 +34,8 @@ def test_e9_fault_matrix(benchmark):
 
 def test_e9_crossover_sits_exactly_at_t(benchmark):
     """Ablation: the fast/slow boundary is t itself, not t±1."""
-
-    def crossover(f=3, t=2):
-        boundary = []
-        for faults in range(f + 1):
-            _, decided, time = run_cell(f, t, faults, leader_faulty=False)
-            boundary.append(message_delays(time, 1.0))
-        return boundary
-
-    delays = benchmark(crossover)
+    rows = benchmark(lambda: sections("E9", section="crossover")["crossover"])
+    (row,) = rows
+    f, t, delays = row
+    assert (f, t) == (3, 2)
     assert delays == [2, 2, 2, 3]  # faults 0,1,2 fast; 3 slow (t = 2)

@@ -1,9 +1,13 @@
 """Shared benchmark utilities.
 
-Every benchmark prints the table/series it regenerates (the material in
-EXPERIMENTS.md) and times its core operation via pytest-benchmark.  Run:
+Every benchmark is a thin pytest wrapper over a registry entry in
+``repro.experiments``: the sweep loops, parameter grids and row formats
+live there (one source of truth, shared with the parallel runner and the
+CLI); the wrapper fetches the aggregated rows via :func:`sections`,
+prints the regenerated table (the material in EXPERIMENTS.md) and
+asserts the paper's claims.  Run::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/bench_e1_resilience.py --benchmark-only -s
 """
 
 import sys
@@ -16,3 +20,18 @@ def emit(title: str, body: str) -> None:
     """Print an experiment artifact in a recognizable block."""
     bar = "=" * max(len(title), 20)
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def sections(experiment_id: str, quick: bool = False, **filters):
+    """Aggregated rows per section of one registry experiment.
+
+    Filters are ``--filter``-style equality matches on grid params
+    (values stringified), e.g. ``sections("E1", section="table")``.
+    """
+    from repro.experiments import run_sections
+
+    return run_sections(
+        experiment_id,
+        quick=quick,
+        filters={k: str(v) for k, v in filters.items()} or None,
+    )

@@ -12,6 +12,12 @@ from .profiling import (
     timer_churn,
     write_bench_json,
 )
+from .grids import (
+    GridComparison,
+    compare_grid_payloads,
+    format_experiment_payload,
+    merge_section_rows,
+)
 from .metrics import (
     CommonCaseResult,
     Stats,
@@ -25,6 +31,7 @@ from .report import format_markdown_table, format_scenario_results, format_table
 
 __all__ = [
     "CommonCaseResult",
+    "GridComparison",
     "PROTOCOLS",
     "PhaseProfiler",
     "ProtocolSpec",
@@ -32,9 +39,12 @@ __all__ = [
     "ThroughputResult",
     "broadcast_storm",
     "build_protocol",
+    "compare_grid_payloads",
     "cprofile_top",
     "event_churn",
     "format_cprofile_rows",
+    "format_experiment_payload",
+    "merge_section_rows",
     "format_markdown_table",
     "format_scenario_results",
     "format_table",

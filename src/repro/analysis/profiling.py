@@ -45,6 +45,7 @@ __all__ = [
     "write_bench_json",
     "load_bench_json",
     "BENCH_SCHEMA_VERSION",
+    "SUPPORTED_BENCH_SCHEMAS",
     "E16_QUICK_PARAMS",
     "E16_FULL_PARAMS",
     "event_churn",
@@ -55,6 +56,11 @@ __all__ = [
 
 #: Bump when the BENCH_*.json layout changes incompatibly.
 BENCH_SCHEMA_VERSION = 1
+
+#: Every layout :func:`load_bench_json` can read.  Version 2 adds the
+#: experiment-framework block (see :mod:`repro.experiments.store`) on top
+#: of the version-1 envelope; readers of v1 fields work unchanged.
+SUPPORTED_BENCH_SCHEMAS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -180,15 +186,21 @@ def write_bench_json(
     bench: str,
     results: Dict[str, Any],
     meta: Optional[Dict[str, Any]] = None,
+    schema_version: int = BENCH_SCHEMA_VERSION,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Write one ``BENCH_<name>.json`` perf-trajectory record.
 
     The envelope is deliberately small and stable: scripts diff the
     ``results`` mapping across commits, and the metadata says what
-    hardware/interpreter produced the numbers.
+    hardware/interpreter produced the numbers.  ``extra`` merges
+    additional top-level blocks (the experiment framework's schema-2
+    ``experiment`` block); ``schema_version`` must be a supported layout.
     """
+    if schema_version not in SUPPORTED_BENCH_SCHEMAS:
+        raise ValueError(f"unsupported BENCH json schema {schema_version!r}")
     payload: Dict[str, Any] = {
-        "schema_version": BENCH_SCHEMA_VERSION,
+        "schema_version": schema_version,
         "bench": bench,
         "created_unix": time.time(),
         "python": platform.python_version(),
@@ -199,6 +211,8 @@ def write_bench_json(
     }
     if meta:
         payload["meta"] = meta
+    if extra:
+        payload.update(extra)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -320,9 +334,9 @@ def load_bench_json(path: str) -> Dict[str, Any]:
     with open(path, encoding="utf-8") as fh:
         payload = json.load(fh)
     version = payload.get("schema_version")
-    if version != BENCH_SCHEMA_VERSION:
+    if version not in SUPPORTED_BENCH_SCHEMAS:
         raise ValueError(
             f"unsupported BENCH json schema {version!r} in {path} "
-            f"(expected {BENCH_SCHEMA_VERSION})"
+            f"(expected one of {SUPPORTED_BENCH_SCHEMAS})"
         )
     return payload

@@ -27,7 +27,7 @@ from .adapters import ADAPTERS, ScenarioAdapter
 from .fuzz import FuzzReport, generate_scenario, run_fuzz, shrink_spec
 from .invariants import InvariantVerdict, evaluate_invariants
 from .library import SCENARIOS, get_scenario
-from .runner import ScenarioResult, run_scenario
+from .runner import ScenarioResult, run_scenario, run_scenarios
 from .spec import (
     ByzantineRole,
     Crash,
@@ -65,5 +65,6 @@ __all__ = [
     "get_scenario",
     "run_fuzz",
     "run_scenario",
+    "run_scenarios",
     "shrink_spec",
 ]

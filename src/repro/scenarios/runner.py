@@ -29,7 +29,7 @@ from .spec import (
     ScenarioSpec,
 )
 
-__all__ = ["ScenarioResult", "run_scenario"]
+__all__ = ["ScenarioResult", "run_scenario", "run_scenarios"]
 
 
 @dataclass
@@ -149,6 +149,26 @@ def _schedule_faults(spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster)
         else:  # pragma: no cover - exhaustive over FaultEvent
             raise ScenarioError(f"unknown fault event {event!r}")
         cluster.sim.schedule_at(event.at, action, label=f"fault {event}")
+
+
+def run_scenarios(specs_or_names, on_result=None) -> "list[ScenarioResult]":
+    """Batch API: run several scenarios (specs or canonical-library names).
+
+    The experiment framework's workers shard grids of scenario names over
+    processes and call this per shard; the CLI and tests use it for whole
+    sweeps.  ``on_result(result)`` is invoked after each run (progress
+    reporting); results come back in input order.
+    """
+    from .library import get_scenario
+
+    results = []
+    for item in specs_or_names:
+        spec = item if isinstance(item, ScenarioSpec) else get_scenario(item)
+        result = run_scenario(spec)
+        if on_result is not None:
+            on_result(result)
+        results.append(result)
+    return results
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
