@@ -1,0 +1,97 @@
+"""E17 — Durability: catchup latency and bytes vs lag depth and interval.
+
+Thin wrapper over the ``E17`` registry entry: every grid point crashes a
+durable replica (disk retained or lost), grows a lag while it is down,
+recovers it, and measures the peer state transfer.  The headline
+assertions:
+
+* recovery is *correct*: every rebuilt replica's state digest equals a
+  never-crashed replica's, for both disk modes;
+* transfer cost *scales with lag*: at a fixed checkpoint interval,
+  deeper lag moves more bytes;
+* checkpoints *bound the log*: the rejoined replica's retained WAL is
+  shorter than the checkpoint interval's worth of slots;
+* a retained disk never transfers *more* than a lost one at the same
+  lag and interval (the replayed WAL prefix can only shrink the ask).
+
+Also runnable as a CI smoke check without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_e17_catchup.py --quick
+"""
+
+import sys
+
+from conftest import emit, sections
+
+from repro.analysis import format_table
+
+HEADERS = [
+    "interval", "disk", "lag req", "lag slots", "catchup time",
+    "catchup msgs", "catchup bytes", "stable slot", "wal records",
+    "digest ok",
+]
+
+
+def check_rows(rows):
+    for row in rows:
+        assert row[9], f"recovery diverged: {row}"
+        # Compaction: the WAL never retains a full interval of decides
+        # once a checkpoint could have stabilized.
+        assert row[8] <= max(row[0] - 1, 0) or row[7] == -1, row
+    # Rows pair by the *offered* lag (the grid parameter), so the
+    # cross-row claims hold structurally no matter how batching maps
+    # requests to slots; a missing partner is a hard failure.
+    lags = sorted({row[2] for row in rows})
+    assert len(lags) == 2, f"expected two lag depths in the grid, got {lags}"
+    shallow, deep = lags
+    by_key = {(row[0], row[1], row[2]): row for row in rows}
+    for (interval, disk, lag), row in by_key.items():
+        if lag == shallow:
+            deeper = by_key[(interval, disk, deep)]
+            assert deeper[6] > row[6], (
+                f"bytes did not grow with lag at interval {interval}: "
+                f"{row[6]} -> {deeper[6]}"
+            )
+        if disk == "retained":
+            lost = by_key.get((interval, "lost", lag))
+            if lost is not None:
+                assert row[6] <= lost[6], (
+                    f"retained disk transferred more than lost at "
+                    f"interval {interval}, lag {lag}"
+                )
+
+
+def test_e17_catchup_grid(benchmark):
+    # No section filter: E17's grid points carry no "section" param (the
+    # experiment emits a single section), and filtering on an absent key
+    # would exclude every point and vacuously pass on zero rows.
+    rows = benchmark(lambda: sections("E17")["main"])
+    emit(
+        "E17: catchup latency and bytes vs lag depth and checkpoint interval",
+        format_table(HEADERS, rows),
+    )
+    check_rows(rows)
+
+
+def test_e17_quick_grid_recovers_both_disk_modes():
+    rows = sections("E17", quick=True)["main"]
+    assert {row[1] for row in rows} == {"lost", "retained"}
+    for row in rows:
+        assert row[9], f"quick-grid recovery diverged: {row}"
+
+
+def main(argv):
+    quick = "--quick" in argv
+    rows = sections("E17", quick=quick)["main"]
+    print("E17: durable recovery and peer catchup")
+    print(format_table(HEADERS, rows))
+    if not quick:
+        check_rows(rows)
+    else:
+        assert all(row[9] for row in rows)
+    print("\nall recoveries rebuilt the reference state digest")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Crash a durable replica mid-workload, recover it, verify the digests.
+
+The durability subsystem (``repro.storage``) gives every SMR replica a
+write-ahead log and periodic quorum-certified checkpoints.  This example
+walks the whole recovery story by hand:
+
+1. a 4-replica cluster serves a KV workload; replica 3 crashes partway
+   through, and the other three keep committing (growing a lag);
+2. replica 3 recovers **with its disk intact**: it restores the stable
+   checkpoint, replays its WAL suffix, and fetches the lag tail from
+   peers via the catchup protocol;
+3. replica 3 crashes again, this time **losing its disk**: recovery
+   starts from nothing and transfers everything — certified checkpoint
+   plus decided suffix — from its peers;
+4. after each rejoin, its application-state digest must equal a
+   never-crashed replica's (the ``catchup-consistency`` oracle's check).
+
+The same story runs as declarative scenarios (``durable-recovery``,
+``lagging-replica-catchup``, ``byzantine-catchup-responder``) and as
+experiment E17 (``python -m repro.experiments run E17``).
+"""
+
+from repro.analysis import format_table, run_catchup
+from repro.scenarios import get_scenario, run_scenario
+
+
+def manual_walkthrough() -> None:
+    print("Crash / recover one replica, measured (disk retained vs lost):\n")
+    rows = []
+    for disk in ("retained", "lost"):
+        result = run_catchup(
+            backend="fbft", n=4, f=1,
+            checkpoint_interval=4, warmup_requests=4, lag_requests=12,
+            disk=disk,
+        )
+        rows.append(
+            [
+                disk, result.lag_slots, result.catchup_time,
+                result.catchup_messages, result.catchup_bytes,
+                result.stable_slot, result.wal_records,
+                "EQUAL" if result.digests_equal else "DIVERGED",
+            ]
+        )
+    print(
+        format_table(
+            ["disk", "lag slots", "catchup time", "msgs", "bytes",
+             "stable slot", "wal records", "state digest"],
+            rows,
+        )
+    )
+    assert all(row[-1] == "EQUAL" for row in rows)
+
+
+def scenario_walkthrough() -> None:
+    print("\nThe same story as declarative scenarios with oracles:\n")
+    for name in (
+        "durable-recovery",
+        "lagging-replica-catchup",
+        "byzantine-catchup-responder",
+    ):
+        result = run_scenario(get_scenario(name))
+        catchup = next(
+            v for v in result.verdicts if v.name == "catchup-consistency"
+        )
+        print(f"  {name:<30} {'OK' if result.ok else 'FAIL'}  [{catchup}]")
+        assert result.ok
+
+
+def main() -> None:
+    manual_walkthrough()
+    scenario_walkthrough()
+    print(
+        "\nEvery recovered replica rebuilt the exact state of its peers — "
+        "from its own disk when it had one, from the cluster when it did "
+        "not, and despite a lying responder when one tried."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -19,10 +19,12 @@ from .grids import (
     merge_section_rows,
 )
 from .metrics import (
+    CatchupResult,
     CommonCaseResult,
     Stats,
     ThroughputResult,
     repeat_latency,
+    run_catchup,
     run_common_case,
     run_smr_throughput,
     smr_instance_factory,
@@ -30,6 +32,7 @@ from .metrics import (
 from .report import format_markdown_table, format_scenario_results, format_table
 
 __all__ = [
+    "CatchupResult",
     "CommonCaseResult",
     "GridComparison",
     "PROTOCOLS",
@@ -50,6 +53,7 @@ __all__ = [
     "format_table",
     "load_bench_json",
     "repeat_latency",
+    "run_catchup",
     "run_common_case",
     "run_smr_throughput",
     "simcore_snapshot",

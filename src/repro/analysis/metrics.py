@@ -14,8 +14,10 @@ from ..sim.trace import message_delays
 
 __all__ = [
     "Stats",
+    "CatchupResult",
     "CommonCaseResult",
     "ThroughputResult",
+    "run_catchup",
     "run_common_case",
     "repeat_latency",
     "run_smr_throughput",
@@ -245,6 +247,136 @@ def run_smr_throughput(
         latency=Stats.from_values(latencies),
         slots_used=slots_used,
         messages_sent=cluster.network.stats.messages_sent,
+    )
+
+
+@dataclass(frozen=True)
+class CatchupResult:
+    """One crash-and-rejoin run of the durability subsystem (E17)."""
+
+    backend: str
+    n: int
+    f: int
+    checkpoint_interval: int
+    disk: str
+    #: Slots the victim was behind at the moment it recovered.
+    lag_slots: int
+    #: Simulated time from recovery until fully caught up.
+    catchup_time: float
+    #: CatchupRequest/CatchupReply messages and bytes from recovery on.
+    catchup_messages: int
+    catchup_bytes: int
+    #: Stable-checkpoint slot the victim holds after rejoining.
+    stable_slot: int
+    #: WAL records the victim retains after rejoining (compaction proof).
+    wal_records: int
+    #: Whether the rebuilt state digest equals a never-crashed replica's.
+    digests_equal: bool
+
+
+def run_catchup(
+    backend: str = "fbft",
+    n: int = 4,
+    f: int = 1,
+    t: int = 1,
+    checkpoint_interval: int = 4,
+    warmup_requests: int = 4,
+    lag_requests: int = 12,
+    disk: str = "lost",
+    batch_size: int = 2,
+    pipeline_depth: int = 2,
+    delta: float = 1.0,
+    timeout: float = 50_000.0,
+) -> CatchupResult:
+    """Crash a durable replica, grow a lag, recover it, and measure the
+    state transfer: catchup latency and bytes vs lag depth and
+    checkpoint interval (experiment E17).
+
+    Three simulated phases — warmup (everyone executes together), lag
+    (the victim is down, ``disk`` retained or lost, while
+    ``lag_requests`` commands commit without it), recovery (checkpoint
+    restore + WAL replay + peer catchup) — all deterministic, so every
+    reported number is exactly reproducible.
+    """
+    from ..core.config import DurabilityConfig, ReplicationConfig
+    from ..sim.network import payload_size
+    from ..smr.client import SMRClient
+    from ..smr.kvstore import KVStore
+    from ..smr.replica import SMRReplica
+    from ..storage.checkpoint import state_digest
+
+    registry = None
+    if backend == "fbft":
+        from ..smr.backends import smr_backend
+
+        _config, registry, factory = smr_backend(backend, n, f, t=t)
+    else:
+        factory = smr_instance_factory(backend, n, f, t=t)
+    durability = DurabilityConfig(checkpoint_interval=checkpoint_interval)
+    replication = ReplicationConfig(
+        batch_size=batch_size, pipeline_depth=pipeline_depth
+    )
+    replicas = [
+        SMRReplica(
+            pid, n, f, KVStore(), factory,
+            replication=replication, durability=durability, registry=registry,
+        )
+        for pid in range(n)
+    ]
+    client = SMRClient(pid=n, replica_pids=range(n), f=f, window=2)
+    cluster = Cluster(replicas + [client], delay_model=SynchronousDelay(delta))
+    cluster.start()
+
+    for i in range(warmup_requests):
+        client.submit(("set", f"warm{i}", i))
+    cluster.sim.run_until(
+        lambda: client.completed_count == warmup_requests, timeout=timeout
+    )
+
+    victim = replicas[n - 1]
+    survivors = [r for r in replicas if r is not victim]
+    victim.crash()
+    if disk == "lost":
+        victim.wipe_storage()
+    for i in range(lag_requests):
+        client.submit(("set", f"lag{i}", i))
+    total = warmup_requests + lag_requests
+    cluster.sim.run_until(lambda: client.completed_count == total, timeout=timeout)
+
+    lag_slots = max(r.executed_upto for r in survivors) - victim.executed_upto
+    recovery_start = cluster.sim.now
+    victim.recover()
+    cluster.sim.run_until(
+        lambda: not victim.catchup_active
+        and victim.executed_upto >= max(r.executed_upto for r in survivors),
+        timeout=timeout,
+    )
+    catchup_time = cluster.sim.now - recovery_start
+    catchup_messages = 0
+    catchup_bytes = 0
+    for env in cluster.trace.sends:
+        if env.send_time < recovery_start - 1e-9:
+            continue
+        if type(env.payload).__name__ in ("CatchupRequest", "CatchupReply"):
+            catchup_messages += 1
+            catchup_bytes += payload_size(env.payload)
+    reference = max(survivors, key=lambda r: r.executed_upto)
+    digests_equal = state_digest(victim.state_machine.snapshot()) == state_digest(
+        reference.state_machine.snapshot()
+    )
+    return CatchupResult(
+        backend=backend,
+        n=n,
+        f=f,
+        checkpoint_interval=checkpoint_interval,
+        disk=disk,
+        lag_slots=lag_slots,
+        catchup_time=catchup_time,
+        catchup_messages=catchup_messages,
+        catchup_bytes=catchup_bytes,
+        stable_slot=victim.stable_checkpoint_slot,
+        wal_records=len(victim.storage.wal),
+        digests_equal=digests_equal,
     )
 
 

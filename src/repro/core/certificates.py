@@ -11,6 +11,14 @@ contrasts this with the naive, unbounded scheme in
 
 A *commit certificate* (Appendix A.1) backs the generalized protocol's
 slow path: ``ceil((n + f + 1) / 2)`` signatures over ``(ack, x, v)``.
+
+A *checkpoint certificate* is not in the paper: it backs the durability
+subsystem (``repro.storage``).  ``2f + 1`` signatures over
+``(checkpoint, slot, digest)`` prove that a quorum of replicas executed
+every slot up to ``slot`` and arrived at application state ``digest`` —
+which is what makes compacting the write-ahead log below ``slot`` safe,
+and what lets a recovering replica trust a checkpoint handed to it by a
+single (possibly Byzantine) peer during catchup.
 """
 
 from __future__ import annotations
@@ -19,13 +27,15 @@ from dataclasses import dataclass
 from typing import Any, FrozenSet, Optional, Tuple
 
 from ..crypto.keys import KeyRegistry, Signature
-from .payloads import ack_payload, certack_payload
+from .payloads import ack_payload, certack_payload, checkpoint_payload
 
 __all__ = [
     "ProgressCertificate",
     "CommitCertificate",
+    "CheckpointCertificate",
     "progress_certificate_valid",
     "commit_certificate_valid",
+    "checkpoint_certificate_valid",
 ]
 
 
@@ -85,6 +95,39 @@ class CommitCertificate:
         return registry.verify_all(self.signatures, payload)
 
 
+@dataclass(frozen=True)
+class CheckpointCertificate:
+    """``2f + 1`` checkpoint-vote signatures over ``(slot, digest)``.
+
+    At most ``f`` signers are Byzantine, so at least ``f + 1`` correct
+    replicas vouch for the state digest — a recovering replica may adopt
+    a certified checkpoint from a single responder (after re-hashing the
+    accompanying state against ``digest``) without cross-checking.
+    """
+
+    slot: int
+    digest: str
+    signatures: Tuple[Signature, ...]
+
+    def signing_fields(self) -> Tuple[Any, ...]:
+        return (self.slot, self.digest, tuple(sorted(
+            (s.signer, s.digest) for s in self.signatures
+        )))
+
+    @property
+    def signers(self) -> FrozenSet[int]:
+        return frozenset(sig.signer for sig in self.signatures)
+
+    def size_in_signatures(self) -> int:
+        return len(self.signatures)
+
+    def verify(self, registry: KeyRegistry, checkpoint_quorum: int) -> bool:
+        if len(self.signers) < checkpoint_quorum:
+            return False
+        payload = checkpoint_payload(self.slot, self.digest)
+        return registry.verify_all(self.signatures, payload)
+
+
 def progress_certificate_valid(
     cert: Optional[ProgressCertificate],
     value: Any,
@@ -117,3 +160,23 @@ def commit_certificate_valid(
     if cert is None:
         return False
     return cert.verify(registry, commit_quorum)
+
+
+def checkpoint_certificate_valid(
+    cert: Optional[CheckpointCertificate],
+    slot: int,
+    digest: str,
+    registry: KeyRegistry,
+    checkpoint_quorum: int,
+) -> bool:
+    """Validity of a checkpoint certificate for exactly ``(slot, digest)``.
+
+    The claimed slot and digest must match what the certificate's
+    signatures actually cover, and ``checkpoint_quorum`` distinct valid
+    signers must back it.
+    """
+    if cert is None:
+        return False
+    if cert.slot != slot or cert.digest != digest:
+        return False
+    return cert.verify(registry, checkpoint_quorum)

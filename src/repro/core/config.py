@@ -21,15 +21,69 @@ demonstrate Theorem 4.5 executably: the same adversary that is harmless at
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from .quorums import (
     commit_quorum,
     min_processes_fast_bft,
 )
 
-__all__ = ["ProtocolConfig", "ReplicationConfig"]
+__all__ = ["DurabilityConfig", "ProtocolConfig", "ReplicationConfig"]
 
 ProcessId = int
+
+
+#: WAL backends understood by :func:`repro.storage.make_storage`.
+WAL_BACKENDS = ("memory", "file")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Tuning knobs of the durability subsystem (``repro.storage``).
+
+    * ``checkpoint_interval`` — slots between application-state
+      checkpoints: after executing slot ``s`` with
+      ``(s + 1) % interval == 0`` a replica snapshots its state machine
+      and broadcasts a signed checkpoint vote; ``2f + 1`` matching votes
+      make the checkpoint *stable*, after which the write-ahead log and
+      the replica's execution/result caches are compacted up to it;
+    * ``wal_backend`` — ``"memory"`` (deterministic in-simulation
+      persistence: survives a crash, wiped by a disk-loss crash) or
+      ``"file"`` (JSON-lines on real disk, for out-of-simulation
+      restarts; requires ``wal_dir``);
+    * ``wal_dir`` — directory for the file backend's WAL and checkpoint
+      files;
+    * ``catchup_retry`` — how long a recovering replica waits for
+      catchup replies before re-broadcasting its request.
+    """
+
+    checkpoint_interval: int = 4
+    wal_backend: str = "memory"
+    wal_dir: Optional[str] = None
+    catchup_retry: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
+        if self.wal_backend not in WAL_BACKENDS:
+            raise ValueError(
+                f"unknown wal_backend {self.wal_backend!r}; "
+                f"expected one of {WAL_BACKENDS}"
+            )
+        if self.wal_backend == "file" and not self.wal_dir:
+            raise ValueError("wal_backend='file' requires wal_dir")
+        if self.catchup_retry <= 0:
+            raise ValueError(
+                f"catchup_retry must be > 0, got {self.catchup_retry}"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"interval={self.checkpoint_interval} backend={self.wal_backend} "
+            f"retry={self.catchup_retry}"
+        )
 
 
 @dataclass(frozen=True)

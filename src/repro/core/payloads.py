@@ -22,6 +22,7 @@ __all__ = [
     "certack_payload",
     "ack_payload",
     "wish_payload",
+    "checkpoint_payload",
 ]
 
 
@@ -52,3 +53,11 @@ def wish_payload(view: int) -> Tuple[Any, ...]:
     """Payload of a view-synchronizer wish (not in the paper's core, but
     the synchronizer is part of the model; see ``repro.sync``)."""
     return ("wish", view)
+
+
+def checkpoint_payload(slot: int, digest: str) -> Tuple[Any, ...]:
+    """Payload of a durability checkpoint vote (not in the paper's core:
+    the SMR engine's checkpoint protocol, see ``repro.storage``).  The
+    digest is the hex SHA-256 of the application state after executing
+    every slot up to and including ``slot``."""
+    return ("checkpoint", slot, digest)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Tuple
 
@@ -122,19 +123,30 @@ class KeyRegistry:
     and later calls skip the HMAC recomputation.  A signature can only
     ever verify against one payload (the digest binds it), so a cache hit
     with a *different* payload hash is a definitive ``False``.
+
+    The memo is a bounded LRU: a long workload signs an unbounded stream
+    of distinct payloads (every slot, batch and checkpoint vote mints new
+    signatures), so at ``CACHE_LIMIT`` entries the least-recently-used
+    one is evicted (counted in ``cache_evictions``) instead of growing —
+    or, as before this cap, periodically dropping the whole cache, which
+    threw away exactly the hot certificate entries the memo exists for.
     """
 
-    #: Entries kept before the memo-cache resets (runaway guard).
+    #: Entries kept before least-recently-used eviction kicks in.
     CACHE_LIMIT = 1 << 16
 
     def __init__(self, domain: bytes = b"repro-fbft") -> None:
         self._domain = domain
         self._secrets: Dict[ProcessId, bytes] = {}
         #: (signer, signature digest) -> sha256 of the canonical payload
-        #: bytes that this digest successfully verified against.
-        self._verify_cache: Dict[Tuple[ProcessId, bytes], bytes] = {}
+        #: bytes that this digest successfully verified against; ordered
+        #: oldest-use-first for LRU eviction.
+        self._verify_cache: "OrderedDict[Tuple[ProcessId, bytes], bytes]" = (
+            OrderedDict()
+        )
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     @classmethod
     def for_processes(
@@ -174,13 +186,15 @@ class KeyRegistry:
         cached = self._verify_cache.get(key)
         if cached is not None:
             self.cache_hits += 1
+            self._verify_cache.move_to_end(key)
             return hmac.compare_digest(cached, hashlib.sha256(message).digest())
         self.cache_misses += 1
         expected = hmac.new(secret, message, hashlib.sha256).digest()
         valid = hmac.compare_digest(expected, signature.digest)
         if valid:
-            if len(self._verify_cache) >= self.CACHE_LIMIT:
-                self._verify_cache.clear()
+            while len(self._verify_cache) >= self.CACHE_LIMIT:
+                self._verify_cache.popitem(last=False)
+                self.cache_evictions += 1
             self._verify_cache[key] = hashlib.sha256(message).digest()
         return valid
 

@@ -1,4 +1,4 @@
-"""The canonical E1–E16 registry entries.
+"""The canonical E1–E17 registry entries.
 
 Every experiment from EXPERIMENTS.md is one :class:`ExperimentSpec`: a
 parameter grid plus a driver that evaluates a *single* grid point.  The
@@ -21,6 +21,7 @@ from ..analysis import (
     Stats,
     build_protocol,
     repeat_latency,
+    run_catchup,
     run_common_case,
     run_smr_throughput,
 )
@@ -1105,6 +1106,71 @@ register(
                 "backend", "batch", "depth", "clients", "done", "slots",
                 "ops/t", "p95",
             ),
+        },
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# E17 — durability: catchup latency and bytes vs lag depth and interval
+# ---------------------------------------------------------------------------
+
+
+def e17_driver(params: Dict[str, Any], seed: int) -> TaskResult:
+    result = run_catchup(
+        checkpoint_interval=params["interval"],
+        lag_requests=params["lag"],
+        disk=params["disk"],
+    )
+    return TaskResult(
+        rows=[
+            (
+                "main",
+                [
+                    params["interval"],
+                    params["disk"],
+                    # The offered lag (grid param) alongside the measured
+                    # one: cross-row assertions pair rows by the former,
+                    # which batching changes cannot perturb.
+                    params["lag"],
+                    result.lag_slots,
+                    round(result.catchup_time, 1),
+                    result.catchup_messages,
+                    result.catchup_bytes,
+                    result.stable_slot,
+                    result.wal_records,
+                    result.digests_equal,
+                ],
+            )
+        ]
+    )
+
+
+def _e17_points(intervals, lags, disks) -> List[Dict[str, Any]]:
+    return [
+        {"interval": interval, "lag": lag, "disk": disk}
+        for disk in disks
+        for interval in intervals
+        for lag in lags
+    ]
+
+
+register(
+    ExperimentSpec(
+        id="E17",
+        name="catchup",
+        title="durable recovery: catchup latency/bytes vs lag depth and checkpoint interval",
+        paper_ref="the durability subsystem (repro.storage; not a paper figure)",
+        driver=e17_driver,
+        grid=_e17_points((2, 4, 8), (8, 24), ("lost",))
+        + _e17_points((4, 8), (8, 24), ("retained",)),
+        quick_grid=_e17_points((4,), (8,), ("lost", "retained")),
+        columns={
+            "main": (
+                "interval", "disk", "lag req", "lag slots", "catchup time",
+                "catchup msgs", "catchup bytes", "stable slot",
+                "wal records", "digest ok",
+            )
         },
     )
 )

@@ -24,7 +24,7 @@ from ..byzantine.behaviors import (
     SilentProcess,
 )
 from ..core.certificates import ProgressCertificate, progress_certificate_valid
-from ..core.config import ProtocolConfig, ReplicationConfig
+from ..core.config import DurabilityConfig, ProtocolConfig, ReplicationConfig
 from ..core.fastbft import FastBFTProcess
 from ..core.generalized import GeneralizedFBFTProcess
 from ..core.messages import Propose
@@ -40,6 +40,8 @@ from ..smr.backends import smr_backend
 from ..smr.client import SMRClient
 from ..smr.kvstore import KVStore
 from ..smr.replica import SMRReplica, fbft_instance_factory
+from ..storage.catchup import CatchupReply, CatchupRequest
+from ..storage.checkpoint import Checkpoint, state_digest
 from .spec import ByzantineRole, ScenarioError, ScenarioSpec
 
 __all__ = [
@@ -467,6 +469,48 @@ class PacedSMRClient(SMRClient):
         return self.completed_count == self._planned
 
 
+class LyingCatchupReplica(SMRReplica):
+    """A Byzantine replica that runs the honest replication protocol but
+    forges its catchup replies: a self-consistent (correctly hashed) but
+    uncertified checkpoint full of garbage state, corrupted log entries
+    for every requested slot, and a wildly inflated progress report.
+
+    Each forgery targets one validation layer of the catchup protocol:
+    the checkpoint must die on certificate validation, the entries must
+    die on ``f + 1`` cross-checking, and the inflated ``high_slot`` must
+    be neutralized by the ``(f + 1)``-th-highest target rule.
+    """
+
+    FORGED_STATE = {"k0": "forged-by-byzantine-responder"}
+
+    def _handle_catchup_request(self, sender: int, request: CatchupRequest) -> None:
+        from ..smr.replica import Batch
+
+        state = dict(self.FORGED_STATE)
+        forged_checkpoint = Checkpoint(
+            slot=request.low_slot + 50,
+            state=state,
+            digest=state_digest(state),  # hashes fine; has no certificate
+            cert=None,
+        )
+        forged_entries = tuple(
+            (
+                slot,
+                Batch(entries=((999, slot, ("set", "k0", "forged")),)),
+            )
+            for slot in range(request.low_slot, request.low_slot + 4)
+        )
+        self.send(
+            sender,
+            CatchupReply(
+                low_slot=request.low_slot,
+                high_slot=request.low_slot + 1_000_000,
+                checkpoint=forged_checkpoint,
+                entries=forged_entries,
+            ),
+        )
+
+
 class SmrAdapter(ScenarioAdapter):
     """The full SMR stack (replicas + clients) over a consensus backend.
 
@@ -474,16 +518,22 @@ class SmrAdapter(ScenarioAdapter):
     workload section is mandatory; its commands drive the KV store.  The
     replication engine (batching, pipelining) is tuned through
     ``protocol_options``: ``batch_size``, ``batch_timeout`` and
-    ``pipeline_depth`` (see :class:`~repro.core.config.ReplicationConfig`).
+    ``pipeline_depth`` (see :class:`~repro.core.config.ReplicationConfig`);
+    the durability subsystem through ``durability`` (bool),
+    ``checkpoint_interval`` and ``catchup_retry`` (see
+    :class:`~repro.core.config.DurabilityConfig`).
     """
 
     byzantine = True
-    behaviors = ("silent", "crash_after")
+    behaviors = ("silent", "bad_catchup")
     option_names = (
         "base_timeout",
         "batch_size",
         "batch_timeout",
         "pipeline_depth",
+        "durability",
+        "checkpoint_interval",
+        "catchup_retry",
     )
 
     # -- backend hooks --------------------------------------------------
@@ -501,6 +551,14 @@ class SmrAdapter(ScenarioAdapter):
             pipeline_depth=int(options.get("pipeline_depth", 4)),
         )
 
+    def _durability(self, options: Dict[str, Any]) -> Optional[DurabilityConfig]:
+        if not options.get("durability"):
+            return None
+        return DurabilityConfig(
+            checkpoint_interval=int(options.get("checkpoint_interval", 4)),
+            catchup_retry=float(options.get("catchup_retry", 20.0)),
+        )
+
     def build(self, spec: ScenarioSpec) -> BuiltScenario:
         options = _check_options(spec, self.option_names)
         if spec.workload is None:
@@ -509,21 +567,39 @@ class SmrAdapter(ScenarioAdapter):
             )
         config, registry, factory = self.backend(spec, options)
         replication = self._replication(options)
+        durability = self._durability(options)
         roles = {role.pid: role for role in spec.byzantine}
         processes: List[Process] = []
         replicas: List[SMRReplica] = []
         for pid in range(spec.n):
             if pid in roles:
                 role = roles[pid]
+                if role.behavior == "bad_catchup":
+                    # Honest replication, forged state transfer.  Not in
+                    # ``replicas``: the oracles hold honest code to
+                    # account, this one only has to fail at corrupting
+                    # its recovering peers.
+                    processes.append(
+                        LyingCatchupReplica(
+                            pid, spec.n, spec.f, KVStore(), factory,
+                            replication=replication,
+                            durability=durability,
+                            registry=registry if durability else None,
+                        )
+                    )
+                    continue
                 if role.behavior != "silent":
                     raise ScenarioError(
-                        f"{self.key} supports only 'silent' Byzantine replicas"
+                        f"{self.key} supports only "
+                        f"{sorted(self.behaviors)} Byzantine replicas"
                     )
                 processes.append(SilentProcess(pid))
                 continue
             replica = SMRReplica(
                 pid, spec.n, spec.f, KVStore(), factory,
                 replication=replication,
+                durability=durability,
+                registry=registry if durability else None,
             )
             replicas.append(replica)
             processes.append(replica)

@@ -16,12 +16,44 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 from ..sim.runner import Cluster
 from ..sim.trace import message_delays
 from .adapters import BuiltScenario
-from .spec import ScenarioSpec
+from .spec import Recover, ScenarioSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .runner import ScenarioResult
 
-__all__ = ["InvariantVerdict", "decisions_of", "evaluate_invariants"]
+__all__ = [
+    "InvariantVerdict",
+    "decisions_of",
+    "durable_rejoin_sets",
+    "evaluate_invariants",
+]
+
+
+def durable_rejoin_sets(spec: ScenarioSpec, built: BuiltScenario):
+    """``(rejoining, baseline)`` replica lists for durable recoveries.
+
+    ``rejoining`` — durable replicas the schedule crashes and recovers:
+    they owe the cluster a full rejoin.  ``baseline`` — honest,
+    never-crashed replicas: the standard the rejoiners are held to.
+    One definition shared by the runner's stop condition (the run is not
+    over until each rejoiner reaches the baseline's progress) and the
+    ``catchup-consistency`` oracle (which then judges exactly that
+    state) — the two must never drift apart.
+    """
+    recovered_pids = {
+        event.pid
+        for event in spec.faults
+        if isinstance(event, Recover) and event.pid < spec.n
+    }
+    rejoining = [
+        replica
+        for replica in built.replicas
+        if replica.pid in recovered_pids and replica.storage is not None
+    ]
+    baseline = [
+        replica for replica in built.replicas if replica.pid in built.live_pids
+    ]
+    return rejoining, baseline
 
 
 @dataclass(frozen=True)
@@ -162,6 +194,53 @@ def check_no_duplicate_execution(
     )
 
 
+def check_catchup_consistency(
+    spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster
+) -> InvariantVerdict:
+    """A recovered durable replica must equal a never-crashed one.
+
+    After crash recovery (checkpoint restore + WAL replay, plus peer
+    catchup when the disk was lost), the recovered replica's application
+    state digest and executed prefix must match the most-advanced
+    honest, never-crashed replica — recovery that "works" but rebuilds
+    different state is the failure mode this oracle exists to catch.
+    Applies only to durable replicas: legacy in-memory recovery makes no
+    catchup promise.
+    """
+    from ..storage.checkpoint import state_digest
+
+    name = "catchup-consistency"
+    if built.mode != "smr":
+        return InvariantVerdict(name, None, "consensus mode has no replica state")
+    rejoining, baseline = durable_rejoin_sets(spec, built)
+    if not rejoining:
+        return InvariantVerdict(name, None, "no recovered durable replicas")
+    if not baseline:
+        return InvariantVerdict(name, None, "no never-crashed honest replica to compare")
+    reference = max(baseline, key=lambda r: r.executed_upto)
+    reference_digest = state_digest(reference.state_machine.snapshot())
+    problems = []
+    for replica in rejoining:
+        digest = state_digest(replica.state_machine.snapshot())
+        if replica.executed_upto < reference.executed_upto:
+            problems.append(
+                f"pid {replica.pid} executed up to {replica.executed_upto}, "
+                f"reference pid {reference.pid} reached {reference.executed_upto}"
+            )
+        elif digest != reference_digest:
+            problems.append(
+                f"pid {replica.pid} state digest {digest[:16]} != "
+                f"reference {reference_digest[:16]}"
+            )
+    if problems:
+        return InvariantVerdict(name, False, "; ".join(problems))
+    return InvariantVerdict(
+        name, True,
+        f"{len(rejoining)} recovered replica(s) match pid {reference.pid} "
+        f"at slot {reference.executed_upto}",
+    )
+
+
 def check_certificates(
     spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster
 ) -> InvariantVerdict:
@@ -269,6 +348,7 @@ def evaluate_invariants(
         check_agreement(spec, built, cluster, safety_violation),
         check_validity(spec, built, cluster),
         check_no_duplicate_execution(spec, built, cluster),
+        check_catchup_consistency(spec, built, cluster),
         check_certificates(spec, built, cluster),
         check_fast_path(spec, built, cluster, decided, decision_time),
         check_liveness(spec, built, cluster, decided, decision_time, safety_violation),

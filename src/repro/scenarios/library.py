@@ -235,6 +235,73 @@ def _specs() -> Dict[str, ScenarioSpec]:
                         "workload still completes via the live majority.",
         ),
         ScenarioSpec(
+            name="durable-recovery",
+            protocol="fbft-smr",
+            n=4, f=1, t=1,
+            workload=WorkloadSpec(
+                clients=1, requests_per_client=12, window=2, seed=13,
+            ),
+            protocol_options={
+                "durability": True, "checkpoint_interval": 3,
+                "batch_size": 2, "pipeline_depth": 2,
+            },
+            faults=(
+                Crash(at=8.0, pid=1, disk="retained"),
+                Recover(at=60.0, pid=1),
+            ),
+            timeout=3000.0,
+            description="Durability: replica 1 crashes with its disk intact "
+                        "and recovers by restoring the stable checkpoint, "
+                        "replaying its write-ahead log and catching up the "
+                        "tail from peers; its rebuilt state must equal a "
+                        "never-crashed replica's digest.",
+        ),
+        ScenarioSpec(
+            name="lagging-replica-catchup",
+            protocol="fbft-smr",
+            n=4, f=1, t=1,
+            workload=WorkloadSpec(
+                clients=1, requests_per_client=14, window=2, seed=17,
+            ),
+            protocol_options={
+                "durability": True, "checkpoint_interval": 3,
+                "batch_size": 2, "pipeline_depth": 2,
+            },
+            faults=(
+                Crash(at=6.0, pid=2, disk="lost"),
+                Recover(at=70.0, pid=2),
+            ),
+            timeout=3000.0,
+            description="Catchup from nothing: replica 2 loses its disk with "
+                        "the crash, so recovery has no local state at all — "
+                        "it must install a certified peer checkpoint plus the "
+                        "decided suffix through the state-transfer protocol "
+                        "and still match the cluster digest.",
+        ),
+        ScenarioSpec(
+            name="byzantine-catchup-responder",
+            protocol="fbft-smr",
+            n=7, f=2, t=1,
+            workload=WorkloadSpec(
+                clients=1, requests_per_client=12, window=2, seed=19,
+            ),
+            protocol_options={
+                "durability": True, "checkpoint_interval": 3,
+                "batch_size": 2, "pipeline_depth": 2,
+            },
+            byzantine=(ByzantineRole(pid=6, behavior="bad_catchup"),),
+            faults=(
+                Crash(at=6.0, pid=1, disk="lost"),
+                Recover(at=70.0, pid=1),
+            ),
+            timeout=3000.0,
+            description="Byzantine state transfer: replica 1 recovers from a "
+                        "lost disk while replica 6 answers catchup requests "
+                        "with forged checkpoints, corrupted entries and an "
+                        "inflated progress report; certificate validation and "
+                        "f+1 cross-checking must keep the recovery honest.",
+        ),
+        ScenarioSpec(
             name="smr-throughput-seed",
             protocol="fbft-smr",
             n=4, f=1, t=1,

@@ -17,7 +17,12 @@ from ..sim.network import DelayRule
 from ..sim.runner import Cluster
 from ..sim.trace import ConsistencyViolation, message_delays
 from .adapters import ADAPTERS, BuiltScenario
-from .invariants import InvariantVerdict, decisions_of, evaluate_invariants
+from .invariants import (
+    InvariantVerdict,
+    decisions_of,
+    durable_rejoin_sets,
+    evaluate_invariants,
+)
 from .spec import (
     Crash,
     DelayRuleOff,
@@ -123,11 +128,25 @@ class ScenarioResult:
         return "\n".join(lines)
 
 
+def _crash_action(built: BuiltScenario, pid: int, disk: str):
+    """Crash ``pid``; a disk-loss crash also wipes its durable storage."""
+
+    def action() -> None:
+        process = built.process_by_pid(pid)
+        process.crash()
+        if disk == "lost":
+            wipe = getattr(process, "wipe_storage", None)
+            if wipe is not None:
+                wipe()
+
+    return action
+
+
 def _schedule_faults(spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster) -> None:
     network = cluster.network
     for event in spec.faults:
         if isinstance(event, Crash):
-            action = lambda pid=event.pid: built.process_by_pid(pid).crash()
+            action = _crash_action(built, event.pid, event.disk)
         elif isinstance(event, Recover):
             action = lambda pid=event.pid: built.process_by_pid(pid).recover()
         elif isinstance(event, PartitionStart):
@@ -193,10 +212,30 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         # finish its workload; completion is owed only by the others.
         crashed = set(spec.crashed_forever_pids)
         live_clients = [c for c in built.clients if c.pid not in crashed]
+        # Durable replicas the schedule recovers owe the cluster a full
+        # rejoin: the run is not over until each has finished catchup and
+        # executed as far as the healthiest honest replica — that is the
+        # state the catchup-consistency oracle judges (same helper, so
+        # condition and oracle cannot drift apart).  Legacy (storage-
+        # less) recoveries keep the old stop condition untouched.
+        rejoining, baseline = durable_rejoin_sets(spec, built)
+
+        def _run_complete() -> bool:
+            if not all(c.all_completed for c in live_clients):
+                return False
+            if not rejoining:
+                return True
+            target = max((r.executed_upto for r in baseline), default=-1)
+            return all(
+                not r.crashed
+                and not r.catchup_active
+                and r.executed_upto >= target
+                for r in rejoining
+            )
+
         try:
             decision_time = cluster.sim.run_until(
-                lambda: all(c.all_completed for c in live_clients),
-                timeout=spec.timeout,
+                _run_complete, timeout=spec.timeout
             )
             decided = True
         except SimulationTimeout:

@@ -104,12 +104,31 @@ class DelaySpec:
 # ----------------------------------------------------------------------
 
 
+#: What a crash does to the process's durable storage (``repro.storage``).
+CRASH_DISK_MODES = ("retained", "lost")
+
+
 @dataclass(frozen=True)
 class Crash:
-    """Halt process ``pid`` at time ``at`` (no further steps)."""
+    """Halt process ``pid`` at time ``at`` (no further steps).
+
+    ``disk`` only matters for durable SMR replicas: ``"retained"`` (the
+    default) leaves the write-ahead log and stable checkpoint on disk
+    for recovery to replay; ``"lost"`` wipes them with the crash, so a
+    later :class:`Recover` must rebuild the whole state from peers via
+    the catchup protocol.
+    """
 
     at: float
     pid: int
+    disk: str = "retained"
+
+    def __post_init__(self) -> None:
+        if self.disk not in CRASH_DISK_MODES:
+            raise ScenarioError(
+                f"unknown crash disk mode {self.disk!r}; "
+                f"expected one of {CRASH_DISK_MODES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -183,7 +202,7 @@ _EVENT_TYPES = {
 # Byzantine roles
 # ----------------------------------------------------------------------
 
-BYZANTINE_BEHAVIORS = ("silent", "crash_after", "equivocate")
+BYZANTINE_BEHAVIORS = ("silent", "crash_after", "equivocate", "bad_catchup")
 
 
 @dataclass(frozen=True)
@@ -195,7 +214,11 @@ class ByzantineRole:
     * ``equivocate`` — a Byzantine leader of ``view`` showing
       ``values[0]`` to most processes and ``values[1]`` to ``minority``,
       then acknowledging both sides (only supported by protocol families
-      whose adapter knows how to forge the messages).
+      whose adapter knows how to forge the messages);
+    * ``bad_catchup`` — an SMR replica that runs the honest replication
+      protocol but answers peer catchup requests with forged state
+      (bogus checkpoint, corrupted log entries, inflated progress) —
+      the adversary the state-transfer validation exists to defeat.
     """
 
     pid: int

@@ -186,6 +186,17 @@ class Process:
     def on_message(self, sender: ProcessId, payload: Any) -> None:
         """Called on each message delivery."""
 
+    def on_recover(self) -> None:
+        """Called after a crash-recovery resume (context already live).
+
+        The default keeps the legacy model: the process resumes with
+        whatever in-memory state it happened to keep.  Durable processes
+        (e.g. :class:`repro.smr.replica.SMRReplica` with storage)
+        override this to discard volatile state and rebuild from their
+        write-ahead log and stable checkpoint instead — and to start
+        peer catchup when the disk was lost with the crash.
+        """
+
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
@@ -209,9 +220,15 @@ class Process:
             self.ctx.halt()
 
     def recover(self) -> None:
-        """Resume after a crash; see :meth:`ProcessContext.resume`."""
+        """Resume after a crash; see :meth:`ProcessContext.resume`.
+
+        The :meth:`on_recover` hook runs after the context is live, so
+        it may send, broadcast and arm timers (a durable replica's
+        rebuild-and-catchup path needs all three).
+        """
         if self.ctx is not None:
             self.ctx.resume()
+            self.on_recover()
 
     @property
     def crashed(self) -> bool:

@@ -20,7 +20,14 @@ NOOP: Command = ("noop",)
 
 
 class StateMachine(Protocol):
-    """Anything with a deterministic ``apply``."""
+    """Anything with a deterministic ``apply``.
+
+    Durable replicas (``repro.storage``) additionally require
+    ``snapshot()`` (a canonical-serializable copy of the full state) and
+    ``restore(state)`` (the exact inverse): checkpoints ship snapshots
+    between replicas, so two machines restored from the same snapshot
+    must be indistinguishable under further ``apply`` calls.
+    """
 
     def apply(self, command: Command) -> Any:  # pragma: no cover - protocol
         ...
@@ -63,7 +70,16 @@ class KVStore:
         raise ValueError(f"unknown KV command {command!r}")
 
     def snapshot(self) -> Dict[Any, Any]:
+        """A copy of the full store (checkpoint payload)."""
         return dict(self._data)
+
+    def restore(self, state: Dict[Any, Any]) -> None:
+        """Replace the store's contents with a snapshot's.
+
+        ``applied_count`` is a volatile metric of *this process's* apply
+        calls, not part of the replicated state, so it is left alone.
+        """
+        self._data = dict(state)
 
 
 class AppendLog:
@@ -79,6 +95,12 @@ class AppendLog:
         self.applied_count += 1
         self.entries.append(command)
         return len(self.entries) - 1
+
+    def snapshot(self) -> List[Command]:
+        return list(self.entries)
+
+    def restore(self, state: List[Command]) -> None:
+        self.entries = [tuple(entry) for entry in state]
 
 
 class Counter:
@@ -105,3 +127,9 @@ class Counter:
         if op == "read":
             return self.value
         raise ValueError(f"unknown counter command {command!r}")
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"value": self.value}
+
+    def restore(self, state: Dict[str, int]) -> None:
+        self.value = state["value"]

@@ -32,6 +32,19 @@ their timers along with the parent (see
 :meth:`~repro.sim.process.ProcessContext.adopt`), matching the
 crash-recovery model of the scenario engine.
 
+With a :class:`~repro.core.config.DurabilityConfig` the replica becomes
+*durable* (see :mod:`repro.storage`): every adopted decision is appended
+to a write-ahead log before it takes effect, application state is
+checkpointed every ``checkpoint_interval`` slots and certified by
+``2f + 1`` signed checkpoint votes, and the WAL plus the execution and
+result caches are compacted up to the stable checkpoint.  Recovery then
+*rebuilds* the replica from storage (checkpoint restore + WAL replay)
+instead of resurrecting whatever volatile state survived in memory, and
+a recovering or lagging replica catches the cluster up through the peer
+state-transfer protocol of :mod:`repro.storage.catchup` — tolerating
+Byzantine responders by certificate validation and ``f + 1``
+cross-checking.
+
 The SMR layer is deliberately protocol-agnostic: it accepts any factory
 producing a :class:`~repro.core.protocol.DecidingProcess`-compatible
 consensus instance (ours, or a baseline for comparison benchmarks).
@@ -42,10 +55,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..core.config import ProtocolConfig, ReplicationConfig
+from ..core.certificates import (
+    CheckpointCertificate,
+    checkpoint_certificate_valid,
+)
+from ..core.config import DurabilityConfig, ProtocolConfig, ReplicationConfig
 from ..core.generalized import GeneralizedFBFTProcess
-from ..crypto.keys import KeyRegistry
+from ..core.payloads import checkpoint_payload
+from ..crypto.keys import KeyRegistry, Signer
 from ..sim.process import Process, ProcessContext
+from ..storage.catchup import CatchupManager, CatchupReply, CatchupRequest
+from ..storage.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    CheckpointVote,
+    state_digest,
+)
+from ..storage.store import ReplicaStorage, make_storage
 from .kvstore import NOOP, Command, StateMachine
 
 __all__ = [
@@ -209,6 +235,9 @@ class SMRReplica(Process):
         instance_factory: InstanceFactory,
         replication: Optional[ReplicationConfig] = None,
         max_slots: Optional[int] = None,
+        durability: Optional[DurabilityConfig] = None,
+        storage: Optional[ReplicaStorage] = None,
+        registry: Optional[KeyRegistry] = None,
     ) -> None:
         super().__init__(pid)
         self.n = n
@@ -220,6 +249,18 @@ class SMRReplica(Process):
             from dataclasses import replace
 
             self.replication = replace(self.replication, max_slots=max_slots)
+        # -- durability (all three stay None/absent for a legacy replica)
+        self.durability = durability
+        if storage is None and durability is not None:
+            storage = make_storage(durability, pid)
+        self.storage = storage
+        self._registry = registry
+        self._signer: Optional[Signer] = (
+            registry.signer(pid) if registry is not None else None
+        )
+        interval = durability.checkpoint_interval if durability else 1
+        self._checkpoints = CheckpointManager(interval)
+        self._catchup = CatchupManager()
         self._instances: Dict[int, Any] = {}
         self._pending: List[Request] = []
         self._seen_requests: Set[RequestKey] = set()
@@ -271,6 +312,29 @@ class SMRReplica(Process):
         """Consensus instances currently running for undecided slots."""
         return sum(1 for slot in self._instances if slot not in self._decided)
 
+    @property
+    def durable(self) -> bool:
+        """Whether this replica persists decisions and checkpoints."""
+        return self.storage is not None
+
+    @property
+    def stable_checkpoint_slot(self) -> int:
+        """Highest stable-checkpoint slot (``-1`` before the first)."""
+        return self._checkpoints.stable_slot
+
+    @property
+    def catchup_active(self) -> bool:
+        """Whether the replica is mid state transfer from peers."""
+        return self._catchup.active
+
+    @property
+    def checkpoint_quorum(self) -> int:
+        """Votes that make a checkpoint stable: ``2f + 1`` — a majority
+        of them are correct, so compacting below it never strands the
+        cluster, and a certificate built from them convinces any
+        recovering replica."""
+        return 2 * self.f + 1
+
     def decided_value(self, slot: int) -> Optional[Any]:
         return self._decided.get(slot)
 
@@ -303,6 +367,12 @@ class SMRReplica(Process):
             self._handle_slot_message(sender, payload)
         elif isinstance(payload, SlotDecided):
             self._handle_slot_decided(sender, payload)
+        elif isinstance(payload, CheckpointVote):
+            self._handle_checkpoint_vote(sender, payload)
+        elif isinstance(payload, CatchupRequest):
+            self._handle_catchup_request(sender, payload)
+        elif isinstance(payload, CatchupReply):
+            self._handle_catchup_reply(sender, payload)
 
     def _handle_request(self, request: Request) -> None:
         key = (request.client, request.request_id)
@@ -408,6 +478,11 @@ class SMRReplica(Process):
     def _maybe_start_slots(self) -> None:
         """Open consensus instances for pending work, up to the pipeline
         depth, packing up to ``batch_size`` commands per slot."""
+        if self._catchup.active:
+            # Mid state-transfer the next-free-slot estimate is stale:
+            # proposing would re-run consensus for slots peers already
+            # decided.  Pending work is proposed once catchup finishes.
+            return
         cfg = self.replication
         while True:
             backlog = self._unassigned_pending()
@@ -463,9 +538,35 @@ class SMRReplica(Process):
         ctx = _SlotContext(slot, self.ctx)
         instance.attach(ctx)
         instance.decision_hook = lambda value, s=slot: self._on_slot_decided(s, value)
+        if self.storage is not None:
+            self._hook_view_changes(slot, instance)
         self._instances[slot] = instance
         instance._start()
         return instance
+
+    def _hook_view_changes(self, slot: int, instance: Any) -> None:
+        """Record the slot's view changes in the WAL (durable replicas).
+
+        Replay does not consume them — an unfinished instance restarts
+        from view 1, which is always safe — but they are part of the
+        durable record the log compaction accounts for (and recovery
+        forensics: how contested a slot was before the crash).
+        """
+        inner = getattr(instance, "enter_view", None)
+        if inner is None:
+            return
+
+        def recording_enter_view(view: int) -> None:
+            if view > getattr(instance, "view", 0):
+                self.storage.wal.append_view_change(slot, view)
+            inner(view)
+
+        instance.enter_view = recording_enter_view
+        # The pacemaker captured the unwrapped bound method at instance
+        # construction; repoint it or its view entries bypass the WAL.
+        pacemaker = getattr(instance, "pacemaker", None)
+        if pacemaker is not None and hasattr(pacemaker, "_enter_view"):
+            pacemaker._enter_view = recording_enter_view
 
     def _on_slot_decided(self, slot: int, value: Any) -> None:
         self._adopt_decision(slot, value)
@@ -473,13 +574,25 @@ class SMRReplica(Process):
     def _adopt_decision(self, slot: int, value: Any) -> None:
         if slot in self._decided:
             return
+        if self.storage is not None:
+            # Write-ahead: the decision is on disk before it takes any
+            # effect, so replay after a disk-retained crash reconstructs
+            # exactly what this replica committed to.
+            self.storage.wal.append_decide(slot, value)
         self._decided[slot] = value
         self._assigned.pop(slot, None)
         instance = self._instances.get(slot)
         if instance is not None and hasattr(instance, "pacemaker"):
             instance.pacemaker.stop()
-        self.broadcast(SlotDecided(slot=slot, value=value), include_self=False)
+        if not self._catchup.active:
+            self.broadcast(SlotDecided(slot=slot, value=value), include_self=False)
         self._execute_ready()
+        if self._catchup.active:
+            # Gap slots during state transfer are not missing work — they
+            # are decided slots still in flight from the peers' replies;
+            # starting instances for them would re-run settled consensus.
+            self._maybe_finish_catchup()
+            return
         # An out-of-order decision (gossip, or a slot number steered far
         # ahead by a Byzantine sender) leaves gap slots below it: start
         # instances for them, or execution would never reach this slot —
@@ -501,6 +614,8 @@ class SMRReplica(Process):
             value = self._decided[slot]
             self._executed_upto = slot
             self._execute(slot, value)
+            if self.storage is not None and self._checkpoints.boundary(slot):
+                self._initiate_checkpoint(slot)
 
     def _execute(self, slot: int, value: Any) -> None:
         if isinstance(value, Batch):
@@ -573,3 +688,270 @@ class SMRReplica(Process):
             if request.command == command:
                 return request
         return None
+
+    # ------------------------------------------------------------------
+    # Checkpoints (durable replicas only)
+    # ------------------------------------------------------------------
+
+    def _initiate_checkpoint(self, slot: int) -> None:
+        """Snapshot the state machine after executing ``slot`` and vote.
+
+        The snapshot is kept pending until ``checkpoint_quorum`` votes
+        agree on its digest — state keeps advancing meanwhile, so the
+        vote must bind the state *as of this slot*, not as of whenever
+        the quorum completes.
+        """
+        snapshot = self.state_machine.snapshot()
+        digest = state_digest(snapshot)
+        self._checkpoints.record_local(slot, snapshot, digest)
+        signature = (
+            self._signer.sign(checkpoint_payload(slot, digest))
+            if self._signer is not None
+            else None
+        )
+        vote = CheckpointVote(slot=slot, digest=digest, signature=signature)
+        self.broadcast(vote, include_self=False)
+        self._record_checkpoint_vote(self.pid, vote, verify=False)
+
+    def _handle_checkpoint_vote(self, sender: int, vote: CheckpointVote) -> None:
+        self._record_checkpoint_vote(sender, vote, verify=True)
+
+    def _record_checkpoint_vote(
+        self, sender: int, vote: CheckpointVote, verify: bool
+    ) -> None:
+        if self.storage is None:
+            return
+        if vote.slot <= self._checkpoints.stable_slot:
+            return
+        if verify and self._registry is not None:
+            signature = vote.signature
+            if (
+                signature is None
+                or signature.signer != sender
+                or not self._registry.verify(
+                    signature, checkpoint_payload(vote.slot, vote.digest)
+                )
+            ):
+                return
+        self._checkpoints.record_vote(
+            vote.slot, vote.digest, sender, vote.signature
+        )
+        self._maybe_stabilize(vote.slot, vote.digest)
+
+    def _maybe_stabilize(self, slot: int, digest: str) -> None:
+        ready = self._checkpoints.ready(slot, digest, self.checkpoint_quorum)
+        if ready is None:
+            return
+        snapshot, signatures = ready
+        cert = (
+            CheckpointCertificate(slot=slot, digest=digest, signatures=signatures)
+            if self._registry is not None
+            else None
+        )
+        self._make_stable(
+            Checkpoint(slot=slot, state=snapshot, digest=digest, cert=cert)
+        )
+
+    def _make_stable(self, checkpoint: Checkpoint) -> None:
+        """Persist a stable checkpoint and compact everything below it."""
+        self._checkpoints.install_stable(checkpoint)
+        self.storage.install_checkpoint(checkpoint)
+        self._prune_upto(checkpoint.slot)
+
+    def _prune_upto(self, slot: int) -> None:
+        """Drop execution/result caches the stable checkpoint covers.
+
+        The request-key dedup sets (``_seen_requests`` /
+        ``_executed_requests``) survive: they are the safety net against
+        re-executing a retransmitted command, and they grow with request
+        identity, not with payloads.
+        """
+        self._results = {
+            key: entry for key, entry in self._results.items() if entry[1] > slot
+        }
+        self._anon_executed = {
+            command: entry
+            for command, entry in self._anon_executed.items()
+            if entry[1] > slot
+        }
+        for stale in [s for s in self._decide_gossip if s <= slot]:
+            del self._decide_gossip[stale]
+
+    # ------------------------------------------------------------------
+    # Catchup (peer state transfer)
+    # ------------------------------------------------------------------
+
+    def _handle_catchup_request(self, sender: int, request: CatchupRequest) -> None:
+        """Serve our stable checkpoint + decided suffix to a peer.
+
+        A durable replica answers from storage (checkpoint + WAL — the
+        authoritative durable record); a legacy replica still answers
+        from its in-memory log, so mixed deployments can host laggards.
+        """
+        low = request.low_slot
+        if self.storage is not None:
+            checkpoint = self.storage.checkpoint
+            if checkpoint is not None and checkpoint.slot < low:
+                checkpoint = None
+            entries = tuple(
+                (slot, value)
+                for slot, value in self.storage.wal.decides()
+                if slot >= low
+            )
+        else:
+            checkpoint = None
+            entries = tuple(
+                (slot, value)
+                for slot, value in sorted(self._decided.items())
+                if slot >= low
+            )
+        high = max(self._decided, default=-1)
+        self.send(
+            sender,
+            CatchupReply(
+                low_slot=low,
+                high_slot=high,
+                checkpoint=checkpoint,
+                entries=entries,
+            ),
+        )
+
+    def _handle_catchup_reply(self, sender: int, reply: CatchupReply) -> None:
+        if not self._catchup.active or sender == self.pid or sender >= self.n:
+            return
+        self._catchup.record_reply(sender, reply)
+        checkpoint = reply.checkpoint
+        if (
+            checkpoint is not None
+            and checkpoint.slot > self._executed_upto
+            and self._checkpoint_acceptable(checkpoint)
+        ):
+            self._install_remote_checkpoint(checkpoint)
+        for slot, value in reply.entries:
+            if slot <= self._executed_upto or slot in self._decided:
+                continue
+            # Each reply's (slot, value) claims join the same f+1-matching
+            # tally as live SlotDecided gossip: at most f responders lie.
+            self._handle_slot_decided(sender, SlotDecided(slot=slot, value=value))
+        self._maybe_finish_catchup()
+
+    def _checkpoint_acceptable(self, checkpoint: Checkpoint) -> bool:
+        """Whether a peer-shipped checkpoint may be installed.
+
+        The shipped state must re-hash to the claimed digest (a valid
+        certificate over a tampered payload proves nothing), and the
+        claim needs either a valid ``2f + 1`` certificate or — when the
+        deployment is unsigned — ``f + 1`` repliers agreeing on it.
+        """
+        if state_digest(checkpoint.state) != checkpoint.digest:
+            return False
+        if self._registry is not None:
+            return checkpoint_certificate_valid(
+                checkpoint.cert,
+                checkpoint.slot,
+                checkpoint.digest,
+                self._registry,
+                self.checkpoint_quorum,
+            )
+        claims = self._catchup.checkpoint_claims(
+            checkpoint.slot, checkpoint.digest
+        )
+        return len(claims) >= self.f + 1
+
+    def _install_remote_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Jump the replica's execution to a peer's stable checkpoint."""
+        self.state_machine.restore(checkpoint.state)
+        # The state machine restarted from a snapshot: the applications
+        # that produced the snapshot happened on other replicas, so the
+        # per-replica application timeline starts over (see the
+        # no-duplicate-execution oracle, which judges one timeline).
+        self.applied_keys.clear()
+        self._executed_upto = max(self._executed_upto, checkpoint.slot)
+        self._make_stable(checkpoint)
+        self._execute_ready()
+
+    def _start_catchup(self) -> None:
+        low = self._executed_upto + 1
+        self._catchup.begin(low)
+        self.broadcast(CatchupRequest(low_slot=low), include_self=False)
+        retry = self.durability.catchup_retry if self.durability else 20.0
+        self.ctx.set_timer("catchup-retry", retry, self._retry_catchup)
+
+    def _retry_catchup(self) -> None:
+        if self._catchup.active:
+            self._start_catchup()
+
+    def _maybe_finish_catchup(self) -> None:
+        """Declare catchup done once we reached the trusted target.
+
+        The target is the ``(f + 1)``-th highest ``high_slot`` reported:
+        at least one of the top ``f + 1`` reports is from a correct
+        replica, so it is reachable, and ``f`` inflated Byzantine
+        reports cannot raise it beyond every correct replica's progress.
+        """
+        if not self._catchup.active:
+            return
+        target = self._catchup.target(self.f)
+        if target is None or self._executed_upto < target:
+            return
+        self._catchup.finish(self.now)
+        self.ctx.cancel_timer("catchup-retry")
+        # Re-announce what we adopted during transfer (suppressed while
+        # active) is unnecessary — peers already have it.  Just resume
+        # proposing the client work that queued up meanwhile.
+        self._maybe_start_slots()
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def wipe_storage(self) -> None:
+        """The disk-loss fault: called while crashed, before recovery."""
+        if self.storage is not None:
+            self.storage.wipe()
+
+    def on_recover(self) -> None:
+        """Rebuild from storage instead of resurrecting volatile state.
+
+        Legacy replicas (no storage) keep the old model — in-memory
+        state survives, missed messages are simply lost.  Durable
+        replicas discard *everything* volatile, restore the stable
+        checkpoint, replay the WAL suffix, and then run the catchup
+        protocol to fetch whatever the cluster decided while they were
+        down (all of it, when the disk was lost with the crash).
+        """
+        if self.storage is None:
+            return
+        self._rebuild_from_storage()
+        self._start_catchup()
+
+    def _rebuild_from_storage(self) -> None:
+        # -- drop every piece of volatile state
+        self._instances.clear()
+        self._pending.clear()
+        self._seen_requests.clear()
+        self._decided.clear()
+        self._decide_gossip.clear()
+        self._results.clear()
+        self._executed_requests.clear()
+        self._anon_executed.clear()
+        self._assigned.clear()
+        self._batch_deadline = None
+        self.applied_keys.clear()
+        self._checkpoints.reset()
+        # -- restore the durable prefix
+        checkpoint = self.storage.checkpoint
+        if checkpoint is not None:
+            self.state_machine.restore(checkpoint.state)
+            self._executed_upto = checkpoint.slot
+            self._checkpoints.install_stable(checkpoint)
+        else:
+            self.state_machine.restore(type(self.state_machine)().snapshot())
+            self._executed_upto = -1
+        # -- replay the WAL suffix: adopt, then execute in slot order.
+        #    Replies are re-sent (clients deduplicate); re-announcing via
+        #    gossip is skipped — peers decided these slots long ago.
+        for slot, value in self.storage.wal.decides():
+            if slot > self._executed_upto and slot not in self._decided:
+                self._decided[slot] = value
+        self._execute_ready()

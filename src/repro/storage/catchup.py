@@ -1,0 +1,121 @@
+"""Peer state transfer: how a recovering or lagging replica rejoins.
+
+A replica that comes back with a stale (or wiped) disk broadcasts a
+:class:`CatchupRequest` for everything from its first missing slot.
+Peers answer with a :class:`CatchupReply`: their stable checkpoint (when
+it covers slots the requester is missing) plus their write-ahead-log
+suffix of decided slots, and the highest slot they have decided.
+
+Byzantine responders are tolerated two ways, mirroring the trust
+structure of the consensus core:
+
+* a **checkpoint** is adopted from a *single* reply only when its
+  ``2f + 1``-signed certificate validates against the key registry and
+  the shipped state re-hashes to the certified digest; without a
+  registry (the unsigned PBFT baseline) a checkpoint needs ``f + 1``
+  repliers agreeing on ``(slot, digest)``;
+* **log entries** are unsigned claims, so each reply's ``(slot, value)``
+  pairs count as one vote in the same ``f + 1``-matching tally the
+  engine already uses for live ``SlotDecided`` gossip — at most ``f``
+  responders lie, so ``f + 1`` matching replies always include a correct
+  one.
+
+The requester's *catchup target* — the point at which it declares itself
+caught up and resumes proposing — is the ``(f + 1)``-th highest
+``high_slot`` among the replies: at least one of the top ``f + 1``
+reports comes from a correct replica, so the target is reachable, and
+``f`` inflated Byzantine reports cannot push it beyond every correct
+replica's progress.
+
+:class:`CatchupManager` holds the requester-side bookkeeping; the
+replica (:mod:`repro.smr.replica`) drives the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set, Tuple
+
+from .checkpoint import Checkpoint
+
+__all__ = ["CatchupManager", "CatchupReply", "CatchupRequest"]
+
+
+@dataclass(frozen=True)
+class CatchupRequest:
+    """Ask peers for everything from ``low_slot`` on."""
+
+    low_slot: int
+
+
+@dataclass(frozen=True)
+class CatchupReply:
+    """One peer's transfer: checkpoint (optional) + decided suffix.
+
+    ``entries`` are ``(slot, value)`` pairs at or above ``low_slot``
+    (and above the shipped checkpoint, when there is one);
+    ``high_slot`` is the responder's highest decided slot, ``-1`` if
+    none.
+    """
+
+    low_slot: int
+    high_slot: int
+    checkpoint: Optional[Checkpoint]
+    entries: Tuple[Tuple[int, Any], ...]
+
+
+class CatchupManager:
+    """Requester-side state of one (possibly retried) catchup round."""
+
+    def __init__(self) -> None:
+        self._active = False
+        self._replies: Dict[int, CatchupReply] = {}
+        self.low_slot = 0
+        self.rounds = 0
+        self.completed_at: Optional[float] = None
+        #: Bytes of reply payloads credited to catchup (introspection).
+        self.replies_received = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def begin(self, low_slot: int) -> None:
+        """Start (or retry) a catchup round asking from ``low_slot``."""
+        self._active = True
+        self.low_slot = low_slot
+        self.rounds += 1
+
+    def record_reply(self, sender: int, reply: CatchupReply) -> None:
+        """Keep the latest reply per sender (retries overwrite)."""
+        self._replies[sender] = reply
+        self.replies_received += 1
+
+    def checkpoint_claims(self, slot: int, digest: str) -> Set[int]:
+        """Senders whose replies carried a checkpoint for ``(slot, digest)``."""
+        return {
+            sender
+            for sender, reply in self._replies.items()
+            if reply.checkpoint is not None
+            and reply.checkpoint.slot == slot
+            and reply.checkpoint.digest == digest
+        }
+
+    def target(self, f: int) -> Optional[int]:
+        """The ``(f + 1)``-th highest reported ``high_slot``.
+
+        ``None`` until ``f + 1`` replies arrived — fewer replies might
+        all be Byzantine, so no target can be trusted yet.
+        """
+        highs = sorted(
+            (reply.high_slot for reply in self._replies.values()), reverse=True
+        )
+        if len(highs) <= f:
+            return None
+        return highs[f]
+
+    def finish(self, now: float) -> None:
+        self._active = False
+        self.completed_at = now
+        self._replies.clear()

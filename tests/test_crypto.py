@@ -80,13 +80,46 @@ class TestVerificationMemoCache:
         assert not registry.verify(forged, "payload")
         assert registry.cache_hits == before
 
-    def test_cache_limit_resets_instead_of_growing(self, registry):
+    def test_cache_bounded_by_lru_eviction(self):
+        """The memo never exceeds CACHE_LIMIT under an unbounded stream of
+        distinct signatures (the long-SMR-workload regression): old
+        entries are evicted one at a time and counted, not dropped
+        wholesale."""
         registry_limit = KeyRegistry.for_processes(range(2))
         registry_limit.CACHE_LIMIT = 4
         for i in range(10):
             sig = registry_limit.signer(0).sign(("p", i))
             assert registry_limit.verify(sig, ("p", i))
-        assert len(registry_limit._verify_cache) <= 4
+        assert len(registry_limit._verify_cache) == 4
+        assert registry_limit.cache_evictions == 6
+        # The newest entries survived; evicted ones re-verify correctly
+        # (as misses) and wrong payloads still fail.
+        newest = registry_limit.signer(0).sign(("p", 9))
+        hits = registry_limit.cache_hits
+        assert registry_limit.verify(newest, ("p", 9))
+        assert registry_limit.cache_hits == hits + 1
+        oldest = registry_limit.signer(0).sign(("p", 0))
+        misses = registry_limit.cache_misses
+        assert registry_limit.verify(oldest, ("p", 0))
+        assert registry_limit.cache_misses == misses + 1
+        assert not registry_limit.verify(oldest, ("p", 1))
+
+    def test_lru_eviction_keeps_recently_used_entries(self):
+        """A cache hit refreshes recency: the hot entry survives an
+        overflow that evicts colder ones inserted after it."""
+        registry_limit = KeyRegistry.for_processes(range(2))
+        registry_limit.CACHE_LIMIT = 3
+        hot = registry_limit.signer(0).sign(("hot",))
+        assert registry_limit.verify(hot, ("hot",))  # insert
+        for i in range(2):
+            sig = registry_limit.signer(0).sign(("cold", i))
+            assert registry_limit.verify(sig, ("cold", i))
+        assert registry_limit.verify(hot, ("hot",))  # refresh recency
+        sig = registry_limit.signer(0).sign(("cold", 2))
+        assert registry_limit.verify(sig, ("cold", 2))  # evicts cold 0
+        misses = registry_limit.cache_misses
+        assert registry_limit.verify(hot, ("hot",))
+        assert registry_limit.cache_misses == misses  # hot survived
 
 
 class TestRegistry:
