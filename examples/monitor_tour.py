@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Observability tour: metrics, causal traces, and demoting a slow leader.
+
+Three stops:
+
+1. run a pinned scenario with a metrics registry attached and read the
+   per-replica histograms out of the snapshot (the execution — and its
+   trace digest — is identical to an unobserved run);
+2. trace the same run causally and print a slice of the timeline
+   (send -> delivery -> handler span -> decide, parents threaded through
+   the message envelopes);
+3. throttle a leader: honest protocol, every message 8 time units late —
+   no timeout ever fires, so only the leader-performance monitor notices.
+   Compare the latency tail with the monitor on vs off.
+
+Run me:
+
+    PYTHONPATH=src python examples/monitor_tour.py
+"""
+
+from repro.analysis.metrics import run_monitor_tail
+from repro.obs import CausalTracer, MetricsRegistry
+from repro.scenarios import get_scenario
+from repro.scenarios.runner import run_scenario
+
+
+def stop_one_metrics() -> None:
+    print("=" * 72)
+    print("1. metrics: the smr-open-loop scenario, instrumented")
+    print("=" * 72)
+    spec = get_scenario("smr-open-loop")
+    plain = run_scenario(spec)
+    registry = MetricsRegistry()
+    observed = run_scenario(spec, metrics=registry)
+    assert observed.trace_digest == plain.trace_digest
+    print("trace digest unchanged by instrumentation:",
+          observed.trace_digest[:16])
+    snapshot = registry.to_dict()
+    sends = {
+        name.removeprefix("net.sent."): count
+        for name, count in snapshot["counters"].items()
+        if name.startswith("net.sent.")
+    }
+    print(f"messages by type: {sends}")
+    executed = snapshot["counters"]["replica.0.commands_executed"]
+    delay = snapshot["histograms"]["replica.0.queue_delay"]
+    print(
+        f"replica 0: {executed} commands executed; request queue delay "
+        f"count={delay['count']} mean={delay['mean']:.2f} "
+        f"p50={delay['p50']} p99={delay['p99']}"
+    )
+
+
+def stop_two_tracing() -> None:
+    print()
+    print("=" * 72)
+    print("2. causal tracing: who caused what")
+    print("=" * 72)
+    tracer = CausalTracer(capacity=2048)
+    run_scenario(get_scenario("smr-open-loop"), tracer=tracer)
+    print(f"{tracer.emitted} events emitted, {tracer.dropped} dropped")
+    print("last 12 events (indent = causal depth):")
+    print(tracer.render_timeline(limit=12))
+
+
+def stop_three_monitor() -> None:
+    print()
+    print("=" * 72)
+    print("3. the performance monitor vs a throttled leader")
+    print("=" * 72)
+    off = run_monitor_tail(severity=8.0, monitor_on=False)
+    on = run_monitor_tail(severity=8.0, monitor_on=True)
+    print("leader 0 honest but +8 delay on every message it sends;")
+    print("pacemaker timeout 60 — it never fires.\n")
+    for label, result in (("monitor off", off), ("monitor on ", on)):
+        print(
+            f"{label}: p50={result.latency.p50:5.1f} "
+            f"p99={result.latency.p99:5.1f} duration={result.duration:5.1f} "
+            f"demotions={result.demotions} view_floor={result.view_floor}"
+        )
+    assert on.latency.p99 < off.latency.p99
+    print(
+        "\nwith the monitor on, the replicas gathered 2f+1 signed demotion "
+        "votes,\nrotated leadership to view "
+        f"{on.view_floor} and pulled p99 from {off.latency.p99:.1f} "
+        f"down to {on.latency.p99:.1f}."
+    )
+
+
+def main() -> None:
+    stop_one_metrics()
+    stop_two_tracing()
+    stop_three_monitor()
+
+
+if __name__ == "__main__":
+    main()

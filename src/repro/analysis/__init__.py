@@ -21,11 +21,13 @@ from .grids import (
 from .metrics import (
     CatchupResult,
     CommonCaseResult,
+    MonitorTailResult,
     Stats,
     ThroughputResult,
     repeat_latency,
     run_catchup,
     run_common_case,
+    run_monitor_tail,
     run_smr_throughput,
     smr_instance_factory,
 )
@@ -35,6 +37,7 @@ __all__ = [
     "CatchupResult",
     "CommonCaseResult",
     "GridComparison",
+    "MonitorTailResult",
     "PROTOCOLS",
     "PhaseProfiler",
     "ProtocolSpec",
@@ -55,6 +58,7 @@ __all__ = [
     "repeat_latency",
     "run_catchup",
     "run_common_case",
+    "run_monitor_tail",
     "run_smr_throughput",
     "simcore_snapshot",
     "smr_instance_factory",

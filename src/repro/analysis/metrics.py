@@ -16,10 +16,12 @@ __all__ = [
     "Stats",
     "CatchupResult",
     "CommonCaseResult",
+    "MonitorTailResult",
     "ThroughputResult",
     "run_catchup",
     "run_common_case",
     "repeat_latency",
+    "run_monitor_tail",
     "run_smr_throughput",
     "smr_instance_factory",
 ]
@@ -35,6 +37,9 @@ class Stats:
     p95: float
     minimum: float
     maximum: float
+    #: Tail percentile (E18's headline metric); defaulted so that older
+    #: pickled/recorded Stats and positional callers keep working.
+    p99: float = 0.0
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "Stats":
@@ -48,12 +53,14 @@ class Stats:
             p95=float(np.percentile(array, 95)),
             minimum=float(array.min()),
             maximum=float(array.max()),
+            p99=float(np.percentile(array, 99)),
         )
 
     def __str__(self) -> str:  # pragma: no cover - formatting aid
         return (
             f"n={self.count} mean={self.mean:.3f} p50={self.p50:.3f} "
-            f"p95={self.p95:.3f} min={self.minimum:.3f} max={self.maximum:.3f}"
+            f"p95={self.p95:.3f} p99={self.p99:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
         )
 
 
@@ -377,6 +384,126 @@ def run_catchup(
         stable_slot=victim.stable_checkpoint_slot,
         wal_records=len(victim.storage.wal),
         digests_equal=digests_equal,
+    )
+
+
+@dataclass(frozen=True)
+class MonitorTailResult:
+    """One throttled-leader SMR run with the performance monitor on or off
+    (experiment E18)."""
+
+    severity: float
+    window: float
+    monitor_on: bool
+    completed: int
+    #: Simulated time until every client's workload drained.
+    duration: float
+    #: Steady-state request latency (first ``warmup`` completions per
+    #: client excluded: they land while the monitor is still sampling).
+    latency: Stats
+    #: Completed leader demotions, summed over the honest replicas.
+    demotions: int
+    votes_cast: int
+    #: Highest view floor any replica reached (1 = leader never rotated).
+    view_floor: int
+
+
+def run_monitor_tail(
+    severity: float = 8.0,
+    window: float = 30.0,
+    monitor_on: bool = True,
+    n: int = 4,
+    f: int = 1,
+    t: int = 1,
+    clients: int = 2,
+    requests_per_client: int = 20,
+    client_window: int = 4,
+    batch_size: int = 2,
+    pipeline_depth: int = 4,
+    warmup: int = 4,
+    delta: float = 1.0,
+    base_timeout: float = 60.0,
+    timeout: float = 100_000.0,
+) -> MonitorTailResult:
+    """Throttle the initial leader and measure the latency tail with the
+    performance monitor on vs off (experiment E18).
+
+    Replica 0 stays honest but every protocol message it sends is delayed
+    by ``severity`` — the performance attack that never trips a timeout
+    (``base_timeout`` is far above any slot latency).  With the monitor
+    off the cluster limps at the throttled pace forever; with it on the
+    degraded slot latency should cross the drain-rate threshold, gather
+    ``2f + 1`` demotion votes and rotate leadership, pulling p99 back
+    down.  Both arms share the key registry, workload and delay model, so
+    the only difference is the monitor itself.
+    """
+    from ..core.config import MonitorConfig, ReplicationConfig
+    from ..sim.network import DelayRule
+    from ..smr.backends import smr_backend
+    from ..smr.client import SMRClient
+    from ..smr.kvstore import KVStore
+    from ..smr.replica import SMRReplica
+
+    _config, registry, factory = smr_backend(
+        "fbft", n, f, t=t, base_timeout=base_timeout
+    )
+    replication = ReplicationConfig(
+        batch_size=batch_size, pipeline_depth=pipeline_depth
+    )
+    monitor = MonitorConfig(window=window) if monitor_on else None
+    replicas = [
+        SMRReplica(
+            pid, n, f, KVStore(), factory,
+            replication=replication, registry=registry, monitor=monitor,
+        )
+        for pid in range(n)
+    ]
+    client_procs = [
+        SMRClient(pid=n + i, replica_pids=range(n), f=f, window=client_window)
+        for i in range(clients)
+    ]
+    for index, client in enumerate(client_procs):
+        client.load_workload(
+            [("set", f"k{index}.{i}", i) for i in range(requests_per_client)]
+        )
+    cluster = Cluster(
+        replicas + client_procs, delay_model=SynchronousDelay(delta)
+    )
+    cluster.network.set_delay_rule(
+        DelayRule(
+            name="throttle-leader",
+            extra_delay=severity,
+            src=frozenset({0}),
+            payload_types=("SlotMessage",),
+        )
+    )
+    cluster.start()
+    duration = cluster.sim.run_until(
+        lambda: all(c.all_completed for c in client_procs), timeout=timeout
+    )
+    steady = [
+        latency
+        for client in client_procs
+        for latency in client.latencies()[warmup:]
+    ]
+    demotions = votes = 0
+    floor = 1
+    for replica in replicas:
+        mon = replica.leader_monitor
+        if mon is not None:
+            demotions += mon.demotions
+            votes += mon.votes_cast
+            floor = max(floor, mon.view_floor)
+    return MonitorTailResult(
+        severity=severity,
+        window=window,
+        monitor_on=monitor_on,
+        completed=sum(c.completed_count for c in client_procs),
+        duration=duration,
+        latency=Stats.from_values(steady),
+        demotions=demotions,
+        votes_cast=votes,
+        view_floor=floor,
     )
 
 

@@ -28,7 +28,12 @@ from .quorums import (
     min_processes_fast_bft,
 )
 
-__all__ = ["DurabilityConfig", "ProtocolConfig", "ReplicationConfig"]
+__all__ = [
+    "DurabilityConfig",
+    "MonitorConfig",
+    "ProtocolConfig",
+    "ReplicationConfig",
+]
 
 ProcessId = int
 
@@ -83,6 +88,54 @@ class DurabilityConfig:
         return (
             f"interval={self.checkpoint_interval} backend={self.wal_backend} "
             f"retry={self.catchup_retry}"
+        )
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tuning knobs of the leader performance monitor (``repro.obs``).
+
+    * ``window`` — span (simulated time) of the sliding windows over
+      observed slot latency and local request queue delay;
+    * ``degradation_ratio`` — mean slot latency above ``ratio *
+      max(queue-delay baseline, min_drain)`` counts as a degraded
+      leader and triggers a demotion vote;
+    * ``min_drain`` — floor on the queue-delay baseline, so an idle
+      replica (empty queue, baseline ~0) does not declare any nonzero
+      latency degraded;
+    * ``min_samples`` — latency observations required in the window
+      before the detector may fire (no votes off one outlier);
+    * ``cooldown`` — quiet period after casting a vote or applying a
+      demotion; the anti-flapping guard alongside the adaptive
+      baseline.
+    """
+
+    window: float = 30.0
+    degradation_ratio: float = 4.0
+    min_drain: float = 2.0
+    min_samples: int = 3
+    cooldown: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be > 0, got {self.window}")
+        if self.degradation_ratio <= 1:
+            raise ValueError(
+                f"degradation_ratio must be > 1, got {self.degradation_ratio}"
+            )
+        if self.min_drain <= 0:
+            raise ValueError(f"min_drain must be > 0, got {self.min_drain}")
+        if self.min_samples < 1:
+            raise ValueError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+
+    def describe(self) -> str:
+        return (
+            f"window={self.window} ratio={self.degradation_ratio} "
+            f"min_samples={self.min_samples} cooldown={self.cooldown}"
         )
 
 

@@ -23,6 +23,7 @@ __all__ = [
     "ack_payload",
     "wish_payload",
     "checkpoint_payload",
+    "demotion_payload",
 ]
 
 
@@ -61,3 +62,10 @@ def checkpoint_payload(slot: int, digest: str) -> Tuple[Any, ...]:
     digest is the hex SHA-256 of the application state after executing
     every slot up to and including ``slot``."""
     return ("checkpoint", slot, digest)
+
+
+def demotion_payload(view: int, target: int) -> Tuple[Any, ...]:
+    """Payload of a leader-demotion vote (not in the paper's core: the
+    performance monitor of ``repro.obs.monitor``).  ``target`` is the
+    leader being demoted, ``view`` the view that replaces it."""
+    return ("demote", view, target)

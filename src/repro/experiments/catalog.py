@@ -1,4 +1,4 @@
-"""The canonical E1–E17 registry entries.
+"""The canonical E1–E18 registry entries.
 
 Every experiment from EXPERIMENTS.md is one :class:`ExperimentSpec`: a
 parameter grid plus a driver that evaluates a *single* grid point.  The
@@ -23,6 +23,7 @@ from ..analysis import (
     repeat_latency,
     run_catchup,
     run_common_case,
+    run_monitor_tail,
     run_smr_throughput,
 )
 from ..analysis.profiling import (
@@ -1198,6 +1199,61 @@ def e16_driver(params: Dict[str, Any], seed: int) -> TaskResult:
         rows=[("main", [workload, round(eps)])],
         digest=_stable_digest(["E16", workload]),
     )
+
+
+# ---------------------------------------------------------------------------
+# E18 — leader-performance monitor: tail latency with vs without
+# ---------------------------------------------------------------------------
+
+
+def e18_driver(params: Dict[str, Any], seed: int) -> TaskResult:
+    result = run_monitor_tail(
+        severity=params["severity"],
+        window=params["window"],
+        monitor_on=params["monitor"],
+    )
+    return TaskResult(
+        rows=[
+            (
+                "main",
+                [
+                    params["severity"],
+                    params["window"],
+                    "on" if params["monitor"] else "off",
+                    result.completed,
+                    round(result.duration, 1),
+                    round(result.latency.p50, 1),
+                    round(result.latency.p95, 1),
+                    round(result.latency.p99, 1),
+                    result.demotions,
+                    result.view_floor,
+                ],
+            )
+        ]
+    )
+
+
+register(
+    ExperimentSpec(
+        id="E18",
+        name="monitor",
+        title="leader-performance monitor cuts p99 under a throttling leader",
+        paper_ref="the performance attack liveness proofs ignore (repro.obs; not a paper figure)",
+        driver=e18_driver,
+        grid=grid(
+            severity=(4.0, 8.0, 12.0),
+            window=(15.0, 30.0),
+            monitor=(True, False),
+        ),
+        quick_grid=grid(severity=(8.0,), window=(30.0,), monitor=(True, False)),
+        columns={
+            "main": (
+                "severity", "window", "monitor", "done", "duration",
+                "p50", "p95", "p99", "demotions", "view floor",
+            )
+        },
+    )
+)
 
 
 register(

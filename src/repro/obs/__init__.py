@@ -1,0 +1,35 @@
+"""Observability: deterministic metrics, causal tracing, leader monitor.
+
+Three independent layers, all opt-in and all zero-cost when absent:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and sim-time histograms.  Disabled registries hand out a
+  null-object, so instrumented code never branches on configuration.
+* :mod:`repro.obs.tracing` — a :class:`CausalTracer` recording
+  send → delivery → handler-span → decide events with parent ids
+  threaded through :class:`~repro.sim.network.Envelope` metadata.
+* :mod:`repro.obs.monitor` — a :class:`LeaderMonitor` per replica:
+  sliding-window latency/backlog tracking plus the signed demotion-vote
+  protocol that rotates a correct-but-slow (or throttling-Byzantine)
+  leader out before its timeout would ever fire.
+
+With observability disabled (the default everywhere) the simulation's
+golden trace digests are byte-identical to an uninstrumented build.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .monitor import DemotionVote, LeaderMonitor, SlidingWindow
+from .tracing import CausalTracer, TraceEvent, attach_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CausalTracer",
+    "TraceEvent",
+    "attach_tracer",
+    "DemotionVote",
+    "LeaderMonitor",
+    "SlidingWindow",
+]

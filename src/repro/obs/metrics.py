@@ -1,0 +1,277 @@
+"""Deterministic metrics: counters, gauges, sim-time histograms.
+
+Everything here measures *simulated* quantities (event counts, simulated
+latencies), so snapshots are exactly reproducible run over run — unlike
+the wall-clock numbers in :mod:`repro.analysis.profiling`, which are
+recorded but never asserted.
+
+Design constraints, in order:
+
+1. **Zero overhead when disabled.**  A disabled registry hands out the
+   shared :data:`NULL_METRIC` null-object whose methods do nothing, and
+   exposes ``enabled = False`` so hot paths can skip even the method
+   call (``if metrics.enabled: ...``).  No instrumented module needs a
+   configuration branch at import time.
+2. **Bounded memory.**  Histograms keep a fixed-size reservoir of the
+   most recent observations (plus exact running count/total/min/max),
+   so a long run cannot grow a metric without bound.
+3. **Determinism.**  The reservoir is "last K values", not random
+   sampling: percentile snapshots depend only on the observation
+   sequence, never on an RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+]
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Any = 0
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+def percentile_nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty sample.
+
+    Deterministic and numpy-free: the reservoir snapshot must not vary
+    with interpolation-mode defaults across numpy versions.
+    """
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    # ceil(q/100 * len), clamped to [1, len].
+    rank = -(-q * len(sorted_values) // 100)
+    rank = min(max(1, int(rank)), len(sorted_values))
+    return float(sorted_values[rank - 1])
+
+
+class Histogram:
+    """Sim-time sample distribution with a fixed-size reservoir.
+
+    Exact ``count``/``total``/``min``/``max`` over every observation;
+    percentiles are computed from the retained window of the most
+    recent ``capacity`` values (a ring buffer, overwritten oldest-first).
+    """
+
+    __slots__ = (
+        "name", "capacity", "count", "total", "minimum", "maximum",
+        "_ring", "_cursor",
+    )
+
+    def __init__(self, name: str, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"histogram capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self._ring: List[float] = []
+        self._cursor = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if len(self._ring) < self.capacity:
+            self._ring.append(value)
+        else:
+            self._ring[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def values(self) -> List[float]:
+        """The retained reservoir (most recent ``capacity`` samples)."""
+        return list(self._ring)
+
+    def percentile(self, q: float) -> Optional[float]:
+        if not self._ring:
+            return None
+        return percentile_nearest_rank(sorted(self._ring), q)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class _NullMetric:
+    """Absorbs every metric operation; shared by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: Any) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> None:
+        return None
+
+
+NULL_METRIC = _NullMetric()
+
+
+class _Namespace:
+    """Registry view that prefixes every metric name."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+    def counter(self, name: str) -> Any:
+        return self._registry.counter(self._prefix + name)
+
+    def gauge(self, name: str) -> Any:
+        return self._registry.gauge(self._prefix + name)
+
+    def histogram(self, name: str, capacity: Optional[int] = None) -> Any:
+        return self._registry.histogram(self._prefix + name, capacity)
+
+    def namespace(self, prefix: str) -> "_Namespace":
+        return _Namespace(self._registry, self._prefix + prefix + ".")
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics.
+
+    ``namespace("replica.0")`` returns a view that prefixes names with
+    ``replica.0.`` — per-process instrumentation shares one registry
+    without name collisions, and :meth:`to_dict` snapshots everything.
+    """
+
+    def __init__(self, enabled: bool = True, reservoir: int = 256) -> None:
+        self.enabled = enabled
+        self.reservoir = reservoir
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Any:
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Any:
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, capacity: Optional[int] = None) -> Any:
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(
+                name, capacity or self.reservoir
+            )
+        return metric
+
+    def namespace(self, prefix: str) -> _Namespace:
+        return _Namespace(self, prefix + ".")
+
+    # ------------------------------------------------------------------
+    def network_send_hook(self):
+        """A :meth:`Network.add_send_hook` callback counting sends by
+        payload type under ``net.sent.<TypeName>``."""
+        counters = self._counters
+
+        def hook(envelope: Any) -> None:
+            name = "net.sent." + type(envelope.payload).__name__
+            metric = counters.get(name)
+            if metric is None:
+                metric = counters[name] = Counter(name)
+            metric.value += 1
+
+        return hook
+
+    def collect_network(self, network: Any) -> None:
+        """Snapshot the network's own counters into gauges (O(1), done at
+        collection time — never on the send hot path)."""
+        stats = network.stats
+        self.gauge("net.messages_sent").set(stats.messages_sent)
+        self.gauge("net.messages_delivered").set(stats.messages_delivered)
+        self.gauge("net.bytes_sent").set(stats.bytes_sent)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of every metric, sorted by name."""
+        out: Dict[str, Any] = {
+            "counters": {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: metric.value
+                for name, metric in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: metric.snapshot()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+        return out

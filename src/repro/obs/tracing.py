@@ -1,0 +1,195 @@
+"""Causal tracing: send → delivery → handler span → decide.
+
+A :class:`CausalTracer` installed on a :class:`~repro.sim.network.Network`
+(via :meth:`~repro.sim.network.Network.install_tracer`) threads parent
+ids through the (defaulted, digest-invisible) ``trace`` field of each
+:class:`~repro.sim.network.Envelope`:
+
+* a **send** event is emitted when a message enters the network; its
+  parent is the handler span that sent it (if any), so causality chains
+  across hops;
+* a **deliver** event (parent: the send) is emitted when the message
+  reaches its destination, followed by a **span** event covering the
+  receiving handler's execution;
+* sends issued *inside* that handler parent to the span, and a
+  **decide** event is recorded against the active span when the
+  receiving process decides.
+
+Events live in a bounded ring buffer (:class:`collections.deque` with
+``maxlen``), so tracing a long run keeps the tail.  Export with
+:meth:`CausalTracer.to_json`; eyeball with
+:meth:`CausalTracer.render_timeline`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+__all__ = ["TraceEvent", "CausalTracer", "attach_tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One causally-linked observation.
+
+    ``kind`` is one of ``send``/``deliver``/``span``/``decide``;
+    ``parent`` is the id of the event that caused this one (``None``
+    for root sends).
+    """
+
+    id: int
+    parent: Optional[int]
+    kind: str
+    time: float
+    pid: int
+    peer: Optional[int]
+    detail: str
+
+
+class CausalTracer:
+    """Bounded recorder of :class:`TraceEvent` streams."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Total events emitted (``emitted - len(events)`` were dropped).
+        self.emitted = 0
+        self._next_id = 1
+        self._spans: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        kind: str,
+        time: float,
+        pid: int,
+        peer: Optional[int],
+        detail: str,
+        parent: Optional[int],
+    ) -> int:
+        eid = self._next_id
+        self._next_id += 1
+        self.events.append(
+            TraceEvent(
+                id=eid, parent=parent, kind=kind, time=time,
+                pid=pid, peer=peer, detail=detail,
+            )
+        )
+        self.emitted += 1
+        return eid
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self.events)
+
+    def current_span(self) -> Optional[int]:
+        return self._spans[-1] if self._spans else None
+
+    # ------------------------------------------------------------------
+    # Network integration (called by Network._send / Network._deliver)
+    # ------------------------------------------------------------------
+
+    def on_send(self, envelope: Any) -> Any:
+        """Record a send; returns the envelope with its trace id set."""
+        eid = self._emit(
+            "send",
+            envelope.send_time,
+            envelope.src,
+            envelope.dst,
+            type(envelope.payload).__name__,
+            self.current_span(),
+        )
+        return envelope._replace(trace=eid)
+
+    def begin_delivery(self, envelope: Any) -> int:
+        """Record the delivery and open the receiving handler's span."""
+        deliver_id = self._emit(
+            "deliver",
+            envelope.deliver_time,
+            envelope.dst,
+            envelope.src,
+            type(envelope.payload).__name__,
+            envelope.trace,
+        )
+        span_id = self._emit(
+            "span",
+            envelope.deliver_time,
+            envelope.dst,
+            envelope.src,
+            "handle " + type(envelope.payload).__name__,
+            deliver_id,
+        )
+        self._spans.append(span_id)
+        return span_id
+
+    def end_delivery(self, token: int) -> None:
+        if self._spans and self._spans[-1] == token:
+            self._spans.pop()
+
+    # ------------------------------------------------------------------
+    def record_decide(self, pid: int, value: Any, time: float) -> None:
+        self._emit("decide", time, pid, None, repr(value), self.current_span())
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [asdict(event) for event in self.events]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        payload = {
+            "capacity": self.capacity,
+            "emitted": self.emitted,
+            "dropped": self.dropped,
+            "events": self.to_dicts(),
+        }
+        return json.dumps(payload, indent=indent, default=str)
+
+    def render_timeline(self, limit: Optional[int] = None) -> str:
+        """Indented text timeline: children render one level under their
+        parent (depth follows the causal chain, capped for readability)."""
+        depth: Dict[int, int] = {}
+        lines: List[str] = []
+        events = list(self.events)
+        if limit is not None:
+            events = events[-limit:]
+        known = {event.id for event in events}
+        for event in events:
+            if event.parent is not None and event.parent in known:
+                level = min(depth.get(event.parent, 0) + 1, 8)
+            else:
+                level = 0
+            depth[event.id] = level
+            peer = "" if event.peer is None else f" -> {event.peer}"
+            lines.append(
+                f"{event.time:10.2f}  {'  ' * level}{event.kind:<8}"
+                f"p{event.pid}{peer}  {event.detail}"
+            )
+        if self.dropped:
+            lines.append(f"... ({self.dropped} earlier events dropped)")
+        return "\n".join(lines)
+
+
+def attach_tracer(cluster: Any, tracer: CausalTracer) -> CausalTracer:
+    """Wire a tracer into a running :class:`~repro.sim.runner.Cluster`.
+
+    Installs it on the network (send/deliver/span events) and shadows the
+    cluster trace's ``record_decision`` so decide events are captured
+    too — the cluster's decision hooks look the method up at call time.
+    """
+    cluster.network.install_tracer(tracer)
+    recorder = cluster.trace
+    original = recorder.record_decision
+
+    def record_decision(pid: int, value: Any, time: float) -> None:
+        tracer.record_decide(pid, value, time)
+        original(pid, value, time)
+
+    recorder.record_decision = record_decision  # type: ignore[method-assign]
+    return tracer

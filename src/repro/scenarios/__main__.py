@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.scenarios list
     python -m repro.scenarios run fast-path-clean
-    python -m repro.scenarios run --all [--json]
+    python -m repro.scenarios run --all [--json] [--metrics-out FILE] [--trace-out FILE]
     python -m repro.scenarios fuzz --seeds 25 [--start 0] [--protocols fbft,pbft]
     python -m repro.scenarios digest [--check PATH | --update PATH]
 
@@ -52,9 +52,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     exit_code = 0
     payloads = []
     results = []
+    metrics_accum = {} if args.metrics_out else None
+    trace_accum = {} if args.trace_out else None
     for name in names:
-        result = run_scenario(get_scenario(name))
+        metrics = tracer = None
+        if metrics_accum is not None:
+            from ..obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        if trace_accum is not None:
+            from ..obs.tracing import CausalTracer
+
+            tracer = CausalTracer()
+        result = run_scenario(get_scenario(name), metrics=metrics, tracer=tracer)
         results.append(result)
+        if metrics_accum is not None:
+            metrics_accum[name] = result.metrics
+        if trace_accum is not None:
+            trace_accum[name] = {
+                "emitted": tracer.emitted,
+                "dropped": tracer.dropped,
+                "events": tracer.to_dicts(),
+            }
         if args.json:
             payloads.append(result.to_dict())
         else:
@@ -62,6 +81,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print()
         if not result.ok:
             exit_code = 1
+    if metrics_accum is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(metrics_accum, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote metrics for {len(metrics_accum)} scenario(s) to {args.metrics_out}")
+    if trace_accum is not None:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(trace_accum, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote traces for {len(trace_accum)} scenario(s) to {args.trace_out}")
     if args.json:
         print(json.dumps(payloads if args.all or len(names) > 1 else payloads[0],
                          indent=2))
@@ -161,6 +190,16 @@ def main(argv: List[str] | None = None) -> int:
     run_parser.add_argument("names", nargs="*", help="scenario names")
     run_parser.add_argument("--all", action="store_true", help="run the whole library")
     run_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    run_parser.add_argument(
+        "--metrics-out", metavar="FILE", default="",
+        help="attach a MetricsRegistry per scenario and write all snapshots "
+             "to this JSON file",
+    )
+    run_parser.add_argument(
+        "--trace-out", metavar="FILE", default="",
+        help="attach a CausalTracer per scenario and write all trace events "
+             "to this JSON file",
+    )
 
     fuzz_parser = sub.add_parser("fuzz", help="run the seeded scenario fuzzer")
     fuzz_parser.add_argument("--seeds", type=int, default=25, help="number of seeds")

@@ -24,7 +24,12 @@ from ..byzantine.behaviors import (
     SilentProcess,
 )
 from ..core.certificates import ProgressCertificate, progress_certificate_valid
-from ..core.config import DurabilityConfig, ProtocolConfig, ReplicationConfig
+from ..core.config import (
+    DurabilityConfig,
+    MonitorConfig,
+    ProtocolConfig,
+    ReplicationConfig,
+)
 from ..core.fastbft import FastBFTProcess
 from ..core.generalized import GeneralizedFBFTProcess
 from ..core.messages import Propose
@@ -35,6 +40,7 @@ from ..core.quorums import (
     min_processes_pbft,
 )
 from ..crypto.keys import KeyRegistry
+from ..sim.network import DelayRule
 from ..sim.process import Process
 from ..smr.backends import smr_backend
 from ..smr.client import SMRClient
@@ -511,6 +517,30 @@ class LyingCatchupReplica(SMRReplica):
         )
 
 
+class ThrottlingLeaderReplica(SMRReplica):
+    """A Byzantine leader that stays *just* live: it runs the honest
+    replication protocol but installs a network delay rule adding
+    ``throttle`` to every protocol message it sends, so slots decide —
+    slowly.  The pacemaker never fires (the leader is not *silent*), so
+    only the performance monitor can rotate it out.
+    """
+
+    def __init__(self, *args: Any, throttle: float, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.throttle = throttle
+
+    def on_start(self) -> None:
+        self.ctx.network.set_delay_rule(
+            DelayRule(
+                name=f"throttle-leader-{self.pid}",
+                extra_delay=self.throttle,
+                src=frozenset({self.pid}),
+                payload_types=("SlotMessage",),
+            )
+        )
+        super().on_start()
+
+
 class SmrAdapter(ScenarioAdapter):
     """The full SMR stack (replicas + clients) over a consensus backend.
 
@@ -521,11 +551,16 @@ class SmrAdapter(ScenarioAdapter):
     ``pipeline_depth`` (see :class:`~repro.core.config.ReplicationConfig`);
     the durability subsystem through ``durability`` (bool),
     ``checkpoint_interval`` and ``catchup_retry`` (see
-    :class:`~repro.core.config.DurabilityConfig`).
+    :class:`~repro.core.config.DurabilityConfig`); the leader-performance
+    monitor through ``monitor`` (bool), ``monitor_window``,
+    ``monitor_ratio``, ``monitor_min_samples``, ``monitor_min_drain`` and
+    ``monitor_cooldown`` (see :class:`~repro.core.config.MonitorConfig`).
+    ``monitor_expect_rotation`` is read by the leader-rotation oracle,
+    not by the build.
     """
 
     byzantine = True
-    behaviors = ("silent", "bad_catchup")
+    behaviors = ("silent", "bad_catchup", "throttle_leader")
     option_names = (
         "base_timeout",
         "batch_size",
@@ -534,6 +569,13 @@ class SmrAdapter(ScenarioAdapter):
         "durability",
         "checkpoint_interval",
         "catchup_retry",
+        "monitor",
+        "monitor_window",
+        "monitor_ratio",
+        "monitor_min_samples",
+        "monitor_min_drain",
+        "monitor_cooldown",
+        "monitor_expect_rotation",
     )
 
     # -- backend hooks --------------------------------------------------
@@ -559,6 +601,17 @@ class SmrAdapter(ScenarioAdapter):
             catchup_retry=float(options.get("catchup_retry", 20.0)),
         )
 
+    def _monitor(self, options: Dict[str, Any]) -> Optional[MonitorConfig]:
+        if not options.get("monitor"):
+            return None
+        return MonitorConfig(
+            window=float(options.get("monitor_window", 30.0)),
+            degradation_ratio=float(options.get("monitor_ratio", 4.0)),
+            min_samples=int(options.get("monitor_min_samples", 3)),
+            min_drain=float(options.get("monitor_min_drain", 2.0)),
+            cooldown=float(options.get("monitor_cooldown", 60.0)),
+        )
+
     def build(self, spec: ScenarioSpec) -> BuiltScenario:
         options = _check_options(spec, self.option_names)
         if spec.workload is None:
@@ -568,6 +621,8 @@ class SmrAdapter(ScenarioAdapter):
         config, registry, factory = self.backend(spec, options)
         replication = self._replication(options)
         durability = self._durability(options)
+        monitor = self._monitor(options)
+        shared_registry = registry if (durability or monitor is not None) else None
         roles = {role.pid: role for role in spec.byzantine}
         processes: List[Process] = []
         replicas: List[SMRReplica] = []
@@ -584,7 +639,23 @@ class SmrAdapter(ScenarioAdapter):
                             pid, spec.n, spec.f, KVStore(), factory,
                             replication=replication,
                             durability=durability,
-                            registry=registry if durability else None,
+                            registry=shared_registry,
+                            monitor=monitor,
+                        )
+                    )
+                    continue
+                if role.behavior == "throttle_leader":
+                    # Honest replication at a crawl (``at`` is reused as
+                    # the per-message extra delay).  Not in ``replicas``:
+                    # the rotation oracle watches the honest monitors.
+                    processes.append(
+                        ThrottlingLeaderReplica(
+                            pid, spec.n, spec.f, KVStore(), factory,
+                            replication=replication,
+                            durability=durability,
+                            registry=shared_registry,
+                            monitor=monitor,
+                            throttle=float(role.at),
                         )
                     )
                     continue
@@ -599,7 +670,8 @@ class SmrAdapter(ScenarioAdapter):
                 pid, spec.n, spec.f, KVStore(), factory,
                 replication=replication,
                 durability=durability,
-                registry=registry if durability else None,
+                registry=shared_registry,
+                monitor=monitor,
             )
             replicas.append(replica)
             processes.append(replica)

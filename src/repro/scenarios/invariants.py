@@ -335,6 +335,56 @@ def check_liveness(
     return InvariantVerdict("liveness-after-gst", True, detail)
 
 
+def check_leader_rotation(
+    spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster
+) -> InvariantVerdict:
+    """The performance monitor rotates slow leaders — and only those.
+
+    Applies to SMR runs with the ``monitor`` protocol option.  The spec
+    declares intent through ``monitor_expect_rotation``: when true, at
+    least one honest replica must have observed a completed demotion
+    (its view floor rose past the degraded leader); when false, none may
+    — a demotion under healthy leadership is flapping, the failure mode
+    the drain-rate baseline and cooldown exist to prevent.  Either way,
+    no replica may demote more than twice in one run (bounded rotation,
+    not oscillation).
+    """
+    name = "leader-rotation-liveness"
+    if built.mode != "smr":
+        return InvariantVerdict(name, None, "consensus mode has no monitor")
+    monitored = [r for r in built.replicas if r.leader_monitor is not None]
+    if not monitored:
+        return InvariantVerdict(name, None, "monitor not enabled by spec")
+    expect = bool(spec.protocol_options.get("monitor_expect_rotation", False))
+    demotions = {r.pid: r.leader_monitor.demotions for r in monitored}
+    flapping = {pid: count for pid, count in demotions.items() if count > 2}
+    if flapping:
+        return InvariantVerdict(
+            name, False, f"leader rotation oscillated: {flapping!r} demotions"
+        )
+    total = sum(demotions.values())
+    if expect and total == 0:
+        return InvariantVerdict(
+            name, False,
+            "spec expected the slow leader to be demoted; no replica rotated",
+        )
+    if not expect and total > 0:
+        return InvariantVerdict(
+            name, False,
+            f"monitor demoted a healthy leader (flapping): {demotions!r}",
+        )
+    floors = sorted({r.leader_monitor.view_floor for r in monitored})
+    if expect:
+        return InvariantVerdict(
+            name, True,
+            f"slow leader demoted; view floors {floors}, "
+            f"{total} demotion(s) across {len(monitored)} replicas",
+        )
+    return InvariantVerdict(
+        name, True, f"no spurious demotions across {len(monitored)} replicas"
+    )
+
+
 def evaluate_invariants(
     spec: ScenarioSpec,
     built: BuiltScenario,
@@ -352,4 +402,5 @@ def evaluate_invariants(
         check_certificates(spec, built, cluster),
         check_fast_path(spec, built, cluster, decided, decision_time),
         check_liveness(spec, built, cluster, decided, decision_time, safety_violation),
+        check_leader_rotation(spec, built, cluster),
     )

@@ -334,6 +334,77 @@ def _specs() -> Dict[str, ScenarioSpec]:
                         "baseline under the identical batched, pipelined "
                         "engine and client load.",
         ),
+        ScenarioSpec(
+            name="slow-leader",
+            protocol="fbft-smr",
+            n=4, f=1, t=1,
+            workload=WorkloadSpec(
+                clients=2, requests_per_client=10, window=4, key_space=8,
+                seed=23,
+            ),
+            protocol_options={
+                "batch_size": 2, "pipeline_depth": 4,
+                "base_timeout": 60.0,
+                "monitor": True, "monitor_expect_rotation": True,
+            },
+            faults=(
+                DelayRuleOn(
+                    at=0.0, name="sluggish-leader", extra_delay=8.0,
+                    src=(0,), payload_types=("SlotMessage",),
+                ),
+            ),
+            timeout=3000.0,
+            description="Leader demotion: replica 0 is honest but every "
+                        "protocol message it sends crawls (+8 delay) — too "
+                        "slow for good tail latency, too live for the "
+                        "pacemaker (timeout 60).  The performance monitor "
+                        "must detect the degraded slot latency, gather 2f+1 "
+                        "demotion votes and rotate leadership away.",
+        ),
+        ScenarioSpec(
+            name="throttling-byzantine-leader",
+            protocol="fbft-smr",
+            n=4, f=1, t=1,
+            workload=WorkloadSpec(
+                clients=2, requests_per_client=10, window=4, key_space=8,
+                seed=29,
+            ),
+            protocol_options={
+                "batch_size": 2, "pipeline_depth": 4,
+                "base_timeout": 60.0,
+                "monitor": True, "monitor_expect_rotation": True,
+            },
+            byzantine=(
+                ByzantineRole(pid=0, behavior="throttle_leader", at=9.0),
+            ),
+            timeout=3000.0,
+            description="Throttling adversary: Byzantine replica 0 runs the "
+                        "honest protocol but deliberately delays its own "
+                        "messages by 9, staying just under every timeout — "
+                        "the performance attack liveness proofs ignore.  The "
+                        "honest monitors must demote it without any timer "
+                        "firing.",
+        ),
+        ScenarioSpec(
+            name="monitor-flapping",
+            protocol="fbft-smr",
+            n=4, f=1, t=1,
+            workload=WorkloadSpec(
+                clients=2, requests_per_client=12, rate=4.0, batch_size=3,
+                key_space=8, seed=31,
+            ),
+            protocol_options={
+                "batch_size": 2, "pipeline_depth": 4,
+                "monitor": True, "monitor_expect_rotation": False,
+            },
+            timeout=3000.0,
+            description="Monitor stability: a healthy leader under bursty "
+                        "open-loop load (3-command spikes every 4 time "
+                        "units).  Queue delay rises and falls with the "
+                        "bursts; the drain-rate baseline must absorb it and "
+                        "cast zero demotion votes — rotation here would be "
+                        "flapping.",
+        ),
     ]
     return {spec.name: spec for spec in scenarios}
 

@@ -8,7 +8,7 @@ internals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..sim.digest import cluster_digest
@@ -62,6 +62,9 @@ class ScenarioResult:
     #: SHA-256 over sends + decisions + event counters; equal digests mean
     #: equal executions (see :mod:`repro.sim.digest`).
     trace_digest: str = ""
+    #: Observability snapshot (registry + per-replica monitor stats); empty
+    #: unless a :class:`~repro.obs.metrics.MetricsRegistry` was passed in.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -92,6 +95,7 @@ class ScenarioResult:
             "completed_requests": self.completed_requests,
             "total_requests": self.total_requests,
             "trace_digest": self.trace_digest,
+            "metrics": self.metrics,
             "invariants": [
                 {"name": v.name, "passed": v.passed, "detail": v.detail}
                 for v in self.verdicts
@@ -190,8 +194,19 @@ def run_scenarios(specs_or_names, on_result=None) -> "list[ScenarioResult]":
     return results
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Build, run and judge one scenario."""
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    metrics: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+) -> ScenarioResult:
+    """Build, run and judge one scenario.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) and
+    ``tracer`` (a :class:`~repro.obs.tracing.CausalTracer`) are optional
+    observers; both default to off, in which case the execution — and its
+    trace digest — is byte-identical to an unobserved run.
+    """
     spec.validate()
     adapter = ADAPTERS.get(spec.protocol)
     if adapter is None:
@@ -200,6 +215,14 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         )
     built = adapter.build(spec)
     cluster = Cluster(built.processes, delay_model=spec.delay.build())
+    if metrics is not None:
+        for replica in built.replicas:
+            replica.attach_metrics(metrics)
+        cluster.network.add_send_hook(metrics.network_send_hook())
+    if tracer is not None:
+        from ..obs.tracing import attach_tracer
+
+        attach_tracer(cluster, tracer)
     _schedule_faults(spec, built, cluster)
 
     decided = False
@@ -266,6 +289,17 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     applied = max(
         (replica.executed_upto + 1 for replica in built.replicas), default=0
     )
+    snapshot: Dict[str, Any] = {}
+    if metrics is not None:
+        metrics.collect_network(cluster.network)
+        snapshot["registry"] = metrics.to_dict()
+    monitors = {
+        replica.pid: replica.monitor_stats()
+        for replica in built.replicas
+        if replica.leader_monitor is not None
+    }
+    if monitors:
+        snapshot["monitors"] = monitors
     return ScenarioResult(
         spec=spec,
         decided=decided,
@@ -284,4 +318,5 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         total_requests=total,
         applied_slots=applied,
         trace_digest=cluster_digest(cluster),
+        metrics=snapshot,
     )

@@ -202,7 +202,13 @@ _EVENT_TYPES = {
 # Byzantine roles
 # ----------------------------------------------------------------------
 
-BYZANTINE_BEHAVIORS = ("silent", "crash_after", "equivocate", "bad_catchup")
+BYZANTINE_BEHAVIORS = (
+    "silent",
+    "crash_after",
+    "equivocate",
+    "bad_catchup",
+    "throttle_leader",
+)
 
 
 @dataclass(frozen=True)
@@ -218,7 +224,12 @@ class ByzantineRole:
     * ``bad_catchup`` — an SMR replica that runs the honest replication
       protocol but answers peer catchup requests with forged state
       (bogus checkpoint, corrupted log entries, inflated progress) —
-      the adversary the state-transfer validation exists to defeat.
+      the adversary the state-transfer validation exists to defeat;
+    * ``throttle_leader`` — an SMR replica that runs the honest protocol
+      but delays every protocol message it sends by ``at`` (reused as
+      the per-message extra delay): slow enough to hurt tail latency,
+      live enough that timeouts never fire — the adversary the
+      leader-performance monitor exists to demote.
     """
 
     pid: int

@@ -188,6 +188,10 @@ class Envelope(NamedTuple):
     payload: Any
     send_time: float
     deliver_time: float
+    #: Causal-trace id of the send event (see :mod:`repro.obs.tracing`);
+    #: defaulted so the field is invisible to untraced runs — positional
+    #: construction, payload-keyed digests and sizes are all unchanged.
+    trace: Any = None
 
 
 #: An interceptor may return a replacement delivery time for the envelope
@@ -357,6 +361,9 @@ class Network:
         #: partition) is active; recomputed on every mutation so the send
         #: hot path tests one flag instead of three conditions.
         self._slow = False
+        #: Optional causal tracer (``repro.obs.tracing.CausalTracer``):
+        #: ``None`` keeps the send/deliver hot paths untouched.
+        self._tracer: Optional[Any] = None
         self._interceptor = interceptor
         self.delay_model = delay_model or SynchronousDelay()
         self._refresh_path()
@@ -419,6 +426,15 @@ class Network:
     def add_send_hook(self, hook: Callable[[Envelope], None]) -> None:
         """Observe every send (used by the trace recorder)."""
         self._send_hooks.append(hook)
+
+    def install_tracer(self, tracer: Optional[Any]) -> None:
+        """Install (or remove, with ``None``) a causal tracer.
+
+        The tracer stamps each outgoing envelope's ``trace`` field and
+        observes deliveries; delivery *times* are unchanged, so a traced
+        run produces the same trace digest as an untraced one.
+        """
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # Declarative fault primitives: delay rules and partitions
@@ -499,6 +515,7 @@ class Network:
                 envelope.payload,
                 envelope.send_time,
                 now + delay,
+                envelope.trace,
             )
             self._schedule_delivery(self._retime(released))
 
@@ -556,6 +573,9 @@ class Network:
         if slow:
             envelope = self._retime(envelope)
             deliver = envelope.deliver_time
+        tracer = self._tracer
+        if tracer is not None:
+            envelope = tracer.on_send(envelope)
         stats = self.stats
         stats.messages_sent += 1
         stats.bytes_sent += size
@@ -567,9 +587,11 @@ class Network:
             stats.messages_held += 1
             self._held.append(envelope)
             return envelope
-        if self._delivery_log is None:
+        if tracer is None and self._delivery_log is None:
             self._post(deliver, partial(self._deliver_ref, dst, src, payload))
         else:
+            # Tracing needs the envelope at delivery; the schedule keeps
+            # the same (time, insertion-order) pair, so digests match.
             self._schedule_delivery(envelope)
         return envelope
 
@@ -654,7 +676,15 @@ class Network:
         self.stats.messages_delivered += 1
         if self._delivery_log is not None:
             self._delivery_log.append(envelope)
-        handler(envelope.src, envelope.payload)
+        tracer = self._tracer
+        if tracer is None:
+            handler(envelope.src, envelope.payload)
+            return
+        token = tracer.begin_delivery(envelope)
+        try:
+            handler(envelope.src, envelope.payload)
+        finally:
+            tracer.end_delivery(token)
 
     @property
     def records_deliveries(self) -> bool:

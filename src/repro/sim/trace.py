@@ -43,8 +43,15 @@ class TraceRecorder:
         self.sends: List[Envelope] = []
         self.decisions: List[Decision] = []
         self._decided_by: Dict[ProcessId, Decision] = {}
+        self._type_counts: Dict[str, int] = {}
         if network is not None:
-            network.add_send_hook(self.sends.append)
+            network.add_send_hook(self._record_send)
+
+    def _record_send(self, envelope: Envelope) -> None:
+        self.sends.append(envelope)
+        name = type(envelope.payload).__name__
+        counts = self._type_counts
+        counts[name] = counts.get(name, 0) + 1
 
     # ------------------------------------------------------------------
     # Decision bookkeeping
@@ -99,8 +106,12 @@ class TraceRecorder:
         }
 
     def latest_decision_time(self, pids) -> Optional[float]:
+        # Materialize once: ``pids`` may be a generator, and iterating it
+        # for decision_times() would exhaust it before the completeness
+        # check below (which would then pass vacuously on len 0).
+        pids = tuple(pids)
         times = self.decision_times(pids)
-        if len(times) < len(list(pids)):
+        if len(times) < len(pids):
             return None
         return max(times.values()) if times else None
 
@@ -112,12 +123,20 @@ class TraceRecorder:
         return len(self.sends)
 
     def messages_by_type(self) -> Dict[str, int]:
-        """Histogram of payload class names across all sends."""
-        counts: Dict[str, int] = {}
-        for env in self.sends:
-            name = type(env.payload).__name__
-            counts[name] = counts.get(name, 0) + 1
-        return counts
+        """Histogram of payload class names across all sends.
+
+        Maintained incrementally by the send hook — analysis code calls
+        this per run, and rescanning every send made it O(sends) per
+        call.  Direct appends to :attr:`sends` (no network hook) are
+        still counted, lazily.
+        """
+        if sum(self._type_counts.values()) != len(self.sends):
+            counts: Dict[str, int] = {}
+            for env in self.sends:
+                name = type(env.payload).__name__
+                counts[name] = counts.get(name, 0) + 1
+            self._type_counts = counts
+        return dict(self._type_counts)
 
 
 def message_delays(decision_time: float, delta: float) -> int:

@@ -59,10 +59,16 @@ from ..core.certificates import (
     CheckpointCertificate,
     checkpoint_certificate_valid,
 )
-from ..core.config import DurabilityConfig, ProtocolConfig, ReplicationConfig
+from ..core.config import (
+    DurabilityConfig,
+    MonitorConfig,
+    ProtocolConfig,
+    ReplicationConfig,
+)
 from ..core.generalized import GeneralizedFBFTProcess
-from ..core.payloads import checkpoint_payload
+from ..core.payloads import checkpoint_payload, demotion_payload
 from ..crypto.keys import KeyRegistry, Signer
+from ..obs.monitor import DemotionVote, LeaderMonitor
 from ..sim.process import Process, ProcessContext
 from ..storage.catchup import CatchupManager, CatchupReply, CatchupRequest
 from ..storage.checkpoint import (
@@ -238,6 +244,8 @@ class SMRReplica(Process):
         durability: Optional[DurabilityConfig] = None,
         storage: Optional[ReplicaStorage] = None,
         registry: Optional[KeyRegistry] = None,
+        monitor: Optional[MonitorConfig] = None,
+        metrics: Any = None,
     ) -> None:
         super().__init__(pid)
         self.n = n
@@ -285,6 +293,45 @@ class SMRReplica(Process):
         #: (or a unique anonymous token) — the no-duplicate-execution
         #: oracle's evidence.
         self.applied_keys: List[Tuple[Any, ...]] = []
+        # -- observability (all absent by default; see repro.obs)
+        self.monitor_config = monitor
+        self._monitor: Optional[LeaderMonitor] = (
+            LeaderMonitor(pid, n, monitor) if monitor is not None else None
+        )
+        #: view -> senders of valid demotion votes for entering that view.
+        self._demotion_votes: Dict[int, Set[int]] = {}
+        #: views this replica already cast its own demotion vote for.
+        self._demotion_voted: Set[int] = set()
+        #: request key -> local arrival time (queue-delay observation;
+        #: only populated when the monitor or metrics are active).
+        self._arrival_times: Dict[RequestKey, float] = {}
+        self.metrics: Any = None
+        self.attach_metrics(metrics)
+
+    def attach_metrics(self, metrics: Any) -> None:
+        """Bind (or rebind) a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Instruments are pre-bound here so the hot paths pay a single
+        ``is not None`` check when observability is off.  The scenario
+        runner calls this after :meth:`ScenarioAdapter.build` when the
+        CLI asks for ``--metrics-out``; call before ``start``.
+        """
+        self.metrics = metrics
+        if metrics is not None and getattr(metrics, "enabled", False):
+            ns = metrics.namespace(f"replica.{self.pid}")
+            self._m_requests = ns.counter("requests")
+            self._m_executed = ns.counter("commands_executed")
+            self._m_slot_latency = ns.histogram("slot_latency")
+            self._m_queue_delay = ns.histogram("queue_delay")
+            self._m_demotion_votes = ns.counter("demotion_votes")
+            self._m_demotions = ns.counter("demotions")
+        else:
+            self._m_requests = None
+            self._m_executed = None
+            self._m_slot_latency = None
+            self._m_queue_delay = None
+            self._m_demotion_votes = None
+            self._m_demotions = None
 
     # ------------------------------------------------------------------
     # Introspection (used by tests and examples)
@@ -335,6 +382,22 @@ class SMRReplica(Process):
         recovering replica."""
         return 2 * self.f + 1
 
+    @property
+    def leader_monitor(self) -> Optional[LeaderMonitor]:
+        """The performance monitor, when configured (see ``repro.obs``)."""
+        return self._monitor
+
+    @property
+    def demotion_quorum(self) -> int:
+        """Demotion votes that force a view change: ``2f + 1`` — at most
+        ``f`` Byzantine replicas can neither fabricate a demotion nor
+        (with ``2f + 1`` correct voters available) veto one."""
+        return 2 * self.f + 1
+
+    def monitor_stats(self) -> Optional[Dict[str, Any]]:
+        """Monitor snapshot (view floor, votes, window means) or ``None``."""
+        return self._monitor.stats() if self._monitor is not None else None
+
     def decided_value(self, slot: int) -> Optional[Any]:
         return self._decided.get(slot)
 
@@ -369,6 +432,8 @@ class SMRReplica(Process):
             self._handle_slot_decided(sender, payload)
         elif isinstance(payload, CheckpointVote):
             self._handle_checkpoint_vote(sender, payload)
+        elif isinstance(payload, DemotionVote):
+            self._handle_demotion_vote(sender, payload)
         elif isinstance(payload, CatchupRequest):
             self._handle_catchup_request(sender, payload)
         elif isinstance(payload, CatchupReply):
@@ -409,6 +474,10 @@ class SMRReplica(Process):
                 ),
             )
             return
+        if self._m_requests is not None:
+            self._m_requests.inc()
+        if self._monitor is not None or self._m_queue_delay is not None:
+            self._arrival_times[key] = self.now
         self._pending.append(request)
         self._schedule_proposal_flush()
 
@@ -457,6 +526,25 @@ class SMRReplica(Process):
         self._assigned[slot] = tuple(
             (r.client, r.request_id) for r in requests
         )
+        if self._arrival_times:
+            # Queue delay (arrival -> packed into a batch) is the
+            # monitor's backlog-drain baseline: it reflects *this
+            # replica's* load, not the leader's speed — which is exactly
+            # why it can serve as the degradation reference.
+            now = self.now
+            mon = self._monitor
+            hist = self._m_queue_delay
+            for r in requests:
+                arrived = self._arrival_times.pop(
+                    (r.client, r.request_id), None
+                )
+                if arrived is None:
+                    continue
+                delay = now - arrived
+                if mon is not None:
+                    mon.note_queue_delay(now, delay)
+                if hist is not None:
+                    hist.observe(delay)
         return Batch(
             entries=tuple(
                 (r.client, r.request_id, r.command) for r in requests
@@ -541,7 +629,15 @@ class SMRReplica(Process):
         if self.storage is not None:
             self._hook_view_changes(slot, instance)
         self._instances[slot] = instance
+        mon = self._monitor
+        if mon is not None:
+            mon.note_slot_opened(slot, self.now)
         instance._start()
+        if mon is not None and mon.view_floor > 1:
+            # Every instance starts at view 1, so a demotion must carry
+            # over to slots opened after it — otherwise each new slot
+            # would re-elect the very leader the cluster just demoted.
+            self._advocate_view(instance, mon.view_floor)
         return instance
 
     def _hook_view_changes(self, slot: int, instance: Any) -> None:
@@ -584,6 +680,16 @@ class SMRReplica(Process):
         instance = self._instances.get(slot)
         if instance is not None and hasattr(instance, "pacemaker"):
             instance.pacemaker.stop()
+        mon = self._monitor
+        if mon is not None:
+            latency = mon.note_slot_decided(slot, self.now)
+            if latency is not None and self._m_slot_latency is not None:
+                self._m_slot_latency.observe(latency)
+            # Check on every decision: a slow-but-live leader keeps
+            # decisions (not timeouts) flowing, so this is the signal
+            # that actually fires for the degradation the paper's
+            # timeout machinery never sees.
+            self._maybe_vote_demotion()
         if not self._catchup.active:
             self.broadcast(SlotDecided(slot=slot, value=value), include_self=False)
         self._execute_ready()
@@ -641,6 +747,8 @@ class SMRReplica(Process):
             self._executed_requests.add(key)
             result = self.state_machine.apply(command)
             self.applied_keys.append(key)
+            if self._m_executed is not None:
+                self._m_executed.inc()
             self._results[key] = (result, slot)
             self.send(
                 client,
@@ -776,6 +884,95 @@ class SMRReplica(Process):
         }
         for stale in [s for s in self._decide_gossip if s <= slot]:
             del self._decide_gossip[stale]
+
+    # ------------------------------------------------------------------
+    # Leader demotion (performance monitor; see repro.obs.monitor)
+    # ------------------------------------------------------------------
+
+    def _advocate_view(self, instance: Any, view: int) -> None:
+        """Push one consensus instance toward ``view``.
+
+        Preferably through its pacemaker's wish amplification — replicas
+        that reach the demotion quorum at different times still enter
+        together on ``2f + 1`` wishes, and stragglers are pulled along by
+        ``f + 1`` amplification.  Instances without a pacemaker fall back
+        to a direct (idempotent, monotone) view entry.
+        """
+        pacemaker = getattr(instance, "pacemaker", None)
+        if pacemaker is not None and hasattr(pacemaker, "advocate"):
+            pacemaker.advocate(view)
+            return
+        enter = getattr(instance, "enter_view", None)
+        if enter is not None:
+            enter(view)
+
+    def _maybe_vote_demotion(self) -> None:
+        """Broadcast a signed demotion vote if the window says the leader
+        degraded; one vote per target view, rate-limited by the monitor's
+        cooldown."""
+        mon = self._monitor
+        if mon is None or not mon.should_demote(self.now):
+            return
+        view = mon.view_floor + 1
+        if view in self._demotion_voted:
+            return
+        target = (view - 2) % self.n  # = leader_of(view - 1), the deposed
+        signature = (
+            self._signer.sign(demotion_payload(view, target))
+            if self._signer is not None
+            else None
+        )
+        vote = DemotionVote(view=view, target=target, signature=signature)
+        self._demotion_voted.add(view)
+        mon.note_vote_cast(self.now)
+        if self._m_demotion_votes is not None:
+            self._m_demotion_votes.inc()
+        self.broadcast(vote, include_self=False)
+        self._record_demotion_vote(self.pid, vote, verify=False)
+
+    def _handle_demotion_vote(self, sender: int, vote: DemotionVote) -> None:
+        self._record_demotion_vote(sender, vote, verify=True)
+
+    def _record_demotion_vote(
+        self, sender: int, vote: DemotionVote, verify: bool
+    ) -> None:
+        mon = self._monitor
+        if mon is None:
+            return
+        if vote.view <= mon.view_floor:
+            return  # stale: that demotion already happened
+        if vote.target != (vote.view - 2) % self.n:
+            return  # malformed: view does not succeed the named leader
+        if verify and self._registry is not None:
+            signature = vote.signature
+            if (
+                signature is None
+                or signature.signer != sender
+                or not self._registry.verify(
+                    signature, demotion_payload(vote.view, vote.target)
+                )
+            ):
+                return
+        senders = self._demotion_votes.setdefault(vote.view, set())
+        senders.add(sender)
+        if len(senders) >= self.demotion_quorum:
+            self._apply_demotion(vote.view)
+
+    def _apply_demotion(self, view: int) -> None:
+        """A ``2f + 1`` demotion quorum formed: raise the view floor and
+        steer every undecided instance (and, via ``_create_instance``,
+        every future one) past the demoted leader."""
+        mon = self._monitor
+        if mon is None or view <= mon.view_floor:
+            return
+        mon.note_demotion(self.now, view)
+        if self._m_demotions is not None:
+            self._m_demotions.inc()
+        for stale in [v for v in self._demotion_votes if v <= view]:
+            del self._demotion_votes[stale]
+        for slot, instance in list(self._instances.items()):
+            if slot not in self._decided:
+                self._advocate_view(instance, view)
 
     # ------------------------------------------------------------------
     # Catchup (peer state transfer)
@@ -938,6 +1135,8 @@ class SMRReplica(Process):
         self._assigned.clear()
         self._batch_deadline = None
         self.applied_keys.clear()
+        self._arrival_times.clear()
+        self._demotion_votes.clear()
         self._checkpoints.reset()
         # -- restore the durable prefix
         checkpoint = self.storage.checkpoint

@@ -126,6 +126,15 @@ class Pacemaker:
         self._arm()
 
     # ------------------------------------------------------------------
+    def advocate(self, view: int) -> None:
+        """Externally request a view change (e.g. the leader-performance
+        monitor demoting a slow leader): wish for ``view`` through the
+        normal amplification path, so processes that were asked at
+        different times still enter together on ``2f + 1`` wishes."""
+        if self._stopped:
+            return
+        self._advocate(view)
+
     def _advocate(self, view: int) -> None:
         """Wish for ``view`` (monotone) and tell everyone."""
         if view <= self._my_wish:

@@ -29,7 +29,30 @@ class TestStats:
 
     def test_str_contains_fields(self):
         text = str(Stats.from_values([1.0]))
-        assert "mean" in text and "p95" in text
+        assert "mean" in text and "p95" in text and "p99" in text
+
+    def test_p99_orders_with_p95(self):
+        stats = Stats.from_values(list(range(1, 101)))
+        assert stats.p95 <= stats.p99 <= stats.maximum
+        assert stats.p99 > stats.p50
+
+    def test_p99_single_sample_collapses(self):
+        stats = Stats.from_values([7.0])
+        assert stats.p50 == stats.p95 == stats.p99 == 7.0
+
+    def test_p99_small_sample_stays_within_range(self):
+        # With fewer than 100 samples the 99th percentile interpolates
+        # near (but never beyond) the maximum.
+        stats = Stats.from_values([1.0, 2.0, 100.0])
+        assert stats.p95 <= stats.p99 <= 100.0
+        assert stats.p99 > 2.0
+
+    def test_p99_defaults_for_positional_legacy_construction(self):
+        # Old call sites built Stats without a p99; the field is
+        # defaulted so recorded artifacts keep loading.
+        stats = Stats(count=1, mean=1.0, p50=1.0, p95=1.0,
+                      minimum=1.0, maximum=1.0)
+        assert stats.p99 == 0.0
 
 
 class TestRunCommonCase:

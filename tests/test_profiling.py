@@ -52,6 +52,39 @@ class TestPhaseProfiler:
         assert "a" in profiler.to_dict()
         assert profiler.total_seconds() >= 0.0
 
+    def test_nested_phases_record_inner_first(self):
+        profiler = PhaseProfiler()
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        with profiler.phase("outer", sim):
+            with profiler.phase("inner", sim):
+                sim.run()
+        # Context managers close inside-out, so the inner span lands
+        # first; both observed the same simulator drain.
+        assert [p.name for p in profiler.phases] == ["inner", "outer"]
+        inner, outer = profiler.phases
+        assert inner.events == 4
+        assert outer.events == 4
+        assert outer.wall_seconds >= inner.wall_seconds
+
+    def test_re_entered_phase_name_keeps_both_spans(self):
+        profiler = PhaseProfiler()
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        with profiler.phase("drain", sim):
+            sim.run()
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        with profiler.phase("drain", sim):
+            sim.run()
+        assert [p.name for p in profiler.phases] == ["drain", "drain"]
+        assert [p.events for p in profiler.phases] == [1, 2]
+        # to_dict keys by name: the later span wins there, but the raw
+        # span list (what to_rows prints) keeps both.
+        assert profiler.to_dict()["drain"]["events"] == 2
+        assert len(profiler.to_rows()) == 2
+
 
 class TestCProfileTop:
     def test_returns_result_and_rows(self):
@@ -81,6 +114,30 @@ class TestBenchJson:
         path.write_text('{"schema_version": 999}')
         with pytest.raises(ValueError, match="schema"):
             load_bench_json(str(path))
+
+    def test_roundtrip_with_e18_metrics_block(self, tmp_path):
+        # The perf CI job attaches an E18 monitor-metrics block through
+        # ``extra``; it must survive the round trip untouched next to
+        # the standard envelope.
+        path = tmp_path / "BENCH_E18.json"
+        block = {
+            "experiment": {
+                "id": "E18",
+                "rows": [[8.0, 30.0, "on", 40, 44.0, 8.0, 8.0, 8.0, 4, 2]],
+            },
+            "monitor_metrics": {
+                "replica.1.slot_latency": {"count": 10, "p99": 8.0},
+                "replica.1.demotions": 1,
+            },
+        }
+        write_bench_json(
+            str(path), "E18", {"p99_on": 8.0, "p99_off": 12.0},
+            meta={"quick": False}, extra=block,
+        )
+        loaded = load_bench_json(str(path))
+        assert loaded["results"] == {"p99_on": 8.0, "p99_off": 12.0}
+        assert loaded["experiment"]["id"] == "E18"
+        assert loaded["monitor_metrics"]["replica.1.demotions"] == 1
 
 
 class TestWorkloads:

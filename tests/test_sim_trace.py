@@ -66,6 +66,17 @@ class TestDecisions:
         trace.record_decision(1, "x", 4.0)
         assert trace.latest_decision_time([0, 1]) == 4.0
 
+    def test_latest_decision_time_accepts_a_generator(self):
+        # Regression: the pids iterable used to be iterated twice (once
+        # for decision_times, once for the completeness len()), so a
+        # generator was exhausted on the first pass and the completeness
+        # check passed vacuously.
+        trace = TraceRecorder()
+        trace.record_decision(0, "x", 1.0)
+        assert trace.latest_decision_time(pid for pid in (0, 1)) is None
+        trace.record_decision(1, "x", 4.0)
+        assert trace.latest_decision_time(pid for pid in (0, 1)) == 4.0
+
     def test_decided_values_filter(self):
         trace = TraceRecorder()
         trace.record_decision(0, "x", 1.0)
@@ -109,3 +120,32 @@ class TestMessageAccounting:
         net.send(0, 1, "more")
         assert trace.message_count() == 3
         assert trace.messages_by_type() == {"str": 2, "int": 1}
+
+    def test_incremental_counts_equal_full_rescan(self):
+        from repro.sim.events import Simulator
+        from repro.sim.network import Network
+
+        sim = Simulator()
+        net = Network(sim)
+        trace = TraceRecorder(net)
+        net.register(0, lambda s, p: None)
+        net.register(1, lambda s, p: None)
+        for payload in ("a", 1, "b", 2.5, "c", (1, 2)):
+            net.send(0, 1, payload)
+        incremental = trace.messages_by_type()
+        rescan = {}
+        for env in trace.sends:
+            name = type(env.payload).__name__
+            rescan[name] = rescan.get(name, 0) + 1
+        assert incremental == rescan
+
+    def test_direct_appends_are_counted_lazily(self):
+        # Analysis code sometimes builds a TraceRecorder without a
+        # network and appends envelopes directly; the incremental
+        # counters must fall back to a rescan rather than undercount.
+        from repro.sim.network import Envelope
+
+        trace = TraceRecorder()
+        trace.sends.append(Envelope(0, 1, "x", 0.0, 1.0))
+        trace.sends.append(Envelope(0, 1, 7, 0.0, 1.0))
+        assert trace.messages_by_type() == {"str": 1, "int": 1}
