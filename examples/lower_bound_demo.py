@@ -17,6 +17,7 @@ first-view leader.
 """
 
 from repro import FastBFTProcess, KeyRegistry, ProtocolConfig
+from repro.core.quorums import min_processes_fast_bft
 from repro.lowerbound import (
     find_influential_process,
     run_splice_attack,
@@ -41,7 +42,7 @@ def influential_demo() -> None:
 
 
 def splice_demo(f: int, t: int) -> None:
-    bound = max(3 * f + 2 * t - 1, 3 * f + 1)
+    bound = min_processes_fast_bft(f, t)
     print(f"\nTheorem 4.5 — splice attack with f={f}, t={t} (bound: n={bound}):")
     below = run_splice_attack(f=f, t=t, n=bound - 1)
     label = "CONSISTENCY VIOLATED" if below.violated else "safe"

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Set, Tuple
 
 from ..core.protocol import DecidingProcess
+from ..core.quorums import one_correct
 from ..sync.synchronizer import Pacemaker, WishMessage
 
 __all__ = [
@@ -112,7 +113,7 @@ class PaxosProcess(DecidingProcess):
             cancel_timer=lambda name: self.ctx.cancel_timer(name),
             base_timeout=base_timeout,
             enabled=pacemaker_enabled,
-            entry_quorum=self.config.f + 1 if self.config.f > 0 else 1,
+            entry_quorum=one_correct(self.config.f) if self.config.f > 0 else 1,
             amplify_quorum=1,
         )
 

@@ -22,6 +22,10 @@ __all__ = [
     "min_processes_disjoint_roles",
     "min_processes_pbft",
     "min_processes_paxos_crash",
+    "min_suspect_set",
+    "one_correct",
+    "majority_correct",
+    "selection_threshold",
     "commit_quorum",
     "intersection_size",
     "guaranteed_correct_in_intersection",
@@ -86,6 +90,16 @@ def min_processes_paxos_crash(f: int) -> int:
     return 2 * f + 1
 
 
+def min_suspect_set(t: int) -> int:
+    """``2t + 2``: minimum size of the suspects set M in the weakened
+    t-two-step definition (Section 4.3) — just enough for the
+    lower-bound proof to pick two disjoint size-``t`` fault sets that
+    avoid two distinguished processes."""
+    if t < 0:
+        raise ValueError("t must be >= 0")
+    return 2 * t + 2
+
+
 def _check_ft(f: int, t: int) -> None:
     if f < 1:
         raise ValueError(f"f must be >= 1, got {f}")
@@ -96,6 +110,25 @@ def _check_ft(f: int, t: int) -> None:
 # ----------------------------------------------------------------------
 # Quorum sizes
 # ----------------------------------------------------------------------
+
+def one_correct(f: int) -> int:
+    """``f + 1``: the smallest set guaranteed to contain one correct
+    process — matching replies/claims from this many distinct senders
+    cannot all be forged (gossip adoption, client reply acceptance,
+    catchup cross-checks)."""
+    if f < 0:
+        raise ValueError("f must be >= 0")
+    return f + 1
+
+
+def majority_correct(f: int) -> int:
+    """``2f + 1``: any two such sets share a correct process, and each
+    contains a correct majority — the checkpoint/demotion/pacemaker
+    quorum used by the SMR layer."""
+    if f < 0:
+        raise ValueError("f must be >= 0")
+    return 2 * f + 1
+
 
 def commit_quorum(n: int, f: int) -> int:
     """Slow-path quorum ``ceil((n + f + 1) / 2)`` (Appendix A.1).
@@ -168,6 +201,14 @@ def all_qi_hold(n: int, f: int) -> bool:
 # ----------------------------------------------------------------------
 # Generalized-protocol intersection facts (Appendix A.3)
 # ----------------------------------------------------------------------
+
+def selection_threshold(f: int, t: int) -> int:
+    """``f + t``: the generalized protocol's vote-selection /
+    equivocation threshold (Appendix A.3).  For the vanilla protocol
+    (t = f) this is the familiar ``2f``."""
+    _check_ft(f, t)
+    return f + t
+
 
 def generalized_fast_vote_overlap(n: int, f: int, t: int) -> int:
     """Minimum *correct* overlap between a fast quorum (``n - t`` ackers)

@@ -49,6 +49,7 @@ from ..core.quorums import (
     min_processes_disjoint_roles,
     min_processes_fast_bft,
     quorum_report,
+    selection_threshold,
 )
 from ..crypto.keys import KeyRegistry
 from ..lowerbound import (
@@ -161,7 +162,7 @@ register(
 
 def e2_driver(params: Dict[str, Any], seed: int) -> TaskResult:
     f = params["f"]
-    n = 5 * f - 1
+    n = min_processes_fast_bft(f, f)
     result = run_common_case(_build_fbft(n, f))
     return TaskResult(
         rows=[
@@ -233,7 +234,7 @@ def e3_driver(params: Dict[str, Any], seed: int) -> TaskResult:
                     kinds.get("Vote", 0),
                     kinds.get("CertAck", 0),
                     max(cert_sizes) if cert_sizes else 0,
-                    f + 1,
+                    config.cert_quorum,
                 ],
             )
         ]
@@ -285,7 +286,7 @@ def e4_driver(params: Dict[str, Any], seed: int) -> TaskResult:
                         f, t, n,
                         "yes" if report.meets_bound else "NO",
                         report.qi1, report.qi2, report.qi3,
-                        report.fast_vote_overlap, f + t,
+                        report.fast_vote_overlap, selection_threshold(f, t),
                     ],
                 )
             ]
@@ -623,7 +624,7 @@ register(
 
 
 def _e9_run_cell(f: int, t: int, faults: int, leader_faulty: bool):
-    n = max(3 * f + 2 * t - 1, 3 * f + 1)
+    n = min_processes_fast_bft(f, t)
     config = ProtocolConfig(n=n, f=f, t=t)
     registry = KeyRegistry.for_processes(config.process_ids)
     faulty = set()
@@ -908,7 +909,7 @@ def e13_driver(params: Dict[str, Any], seed: int) -> TaskResult:
         cluster.run_until_decided()
         return TaskResult(rows=[("events", [n, f, cluster.sim.events_processed])])
     f = params["f"]
-    n = 5 * f - 1
+    n = min_processes_fast_bft(f, f)
     result = run_common_case(_build_fbft(n, f))
     # Wall clock stays out of the rows (E16 owns events/sec): every cell
     # here is simulated and exact, so serial == parallel row-for-row.

@@ -1,0 +1,42 @@
+"""Rule base class and the shared per-run lint context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .findings import Finding
+from .modinfo import ModuleInfo
+from .quorum_model import QuorumModel
+
+
+@dataclass
+class LintContext:
+    """Cross-module facts computed once per run and shared by rules.
+
+    ``signed_types`` are class names declaring a ``signature`` /
+    ``cert`` / ``signatures`` field, harvested from every linted module
+    — the V-rule keys handler-parameter annotations off this set, so
+    adding a new signed message type automatically extends coverage.
+    """
+
+    model: QuorumModel
+    signed_types: frozenset = frozenset()
+    modules: List[ModuleInfo] = field(default_factory=list)
+
+
+class Rule:
+    """One lint rule.  Subclasses override :meth:`check`.
+
+    ``bad`` / ``good`` are minimal example snippets surfaced in
+    ``--list-rules`` and the README rule table.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    bad: str = ""
+    good: str = ""
+
+    def check(self, info: ModuleInfo, ctx: LintContext) -> List[Finding]:
+        raise NotImplementedError

@@ -1,0 +1,92 @@
+"""Baseline files: grandfathered findings that do not fail the run.
+
+A baseline entry keys on ``(rule, path, context)`` — not line numbers —
+so edits elsewhere in a file do not invalidate it.  Entries must carry
+a ``justification``; the CLI refuses to honor unexplained entries (they
+are reported like ordinary findings).  One entry suppresses every
+matching finding in that context, which is why the policy (README)
+caps the shipped baseline at a handful of justified entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if isinstance(data, dict):
+        entries = data.get("entries", [])
+    else:
+        entries = data
+    out = []
+    for entry in entries:
+        out.append(
+            {
+                "rule": str(entry.get("rule", "")),
+                "path": str(entry.get("path", "")),
+                "context": str(entry.get("context", "")),
+                "justification": str(entry.get("justification", "")),
+            }
+        )
+    return out
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> None:
+    seen: Dict[Tuple[str, str, str], Dict[str, str]] = {}
+    for finding in findings:
+        key = finding.baseline_key()
+        seen.setdefault(
+            key,
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "context": finding.context,
+                "justification": "TODO: justify or fix",
+            },
+        )
+    payload = {
+        "version": _VERSION,
+        "entries": sorted(
+            seen.values(), key=lambda e: (e["path"], e["rule"], e["context"])
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_baselined(
+    findings: List[Finding], entries: List[Dict[str, str]]
+) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+    """Partition findings into (new, baselined, unjustified-baselined).
+
+    Findings matching an entry *without* a justification still count
+    against the run (third bucket) — the baseline is not a silent
+    mute."""
+    justified = set()
+    unjustified = set()
+    for entry in entries:
+        key = (entry["rule"], entry["path"], entry["context"])
+        if entry["justification"].strip() and not entry[
+            "justification"
+        ].startswith("TODO"):
+            justified.add(key)
+        else:
+            unjustified.add(key)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    needs_justification: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in justified:
+            baselined.append(finding)
+        elif key in unjustified:
+            needs_justification.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined, needs_justification

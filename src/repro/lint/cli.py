@@ -1,0 +1,131 @@
+"""Command-line interface: ``python -m repro.lint``.
+
+Exit codes: 0 = clean (possibly with baselined findings), 1 = findings,
+2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import save_baseline
+from .engine import run_lint
+from .rules import rule_table
+
+DEFAULT_BASELINE = Path("tests/lint_baseline.json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Protocol-aware static analysis: determinism (D), quorum "
+            "arithmetic (Q), verify-before-use (V), WAL ordering (W)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write a JSON report to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-finding lines"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for row in rule_table():
+            print(f"{row['id']}  {row['title']}")
+            print(f"      {row['rationale']}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: path(s) do not exist: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.baseline is not None:
+        baseline_path: Optional[Path] = Path(args.baseline)
+    elif DEFAULT_BASELINE.exists():
+        baseline_path = DEFAULT_BASELINE
+    else:
+        baseline_path = None
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print(
+                "error: --update-baseline requires --baseline FILE "
+                f"(or an existing {DEFAULT_BASELINE})",
+                file=sys.stderr,
+            )
+            return 2
+        result = run_lint(paths, baseline_path=None)
+        save_baseline(baseline_path, result.findings)
+        print(
+            f"wrote {baseline_path} with "
+            f"{len({f.baseline_key() for f in result.findings})} entr"
+            f"{'y' if len(result.findings) == 1 else 'ies'} "
+            "(justifications required before they take effect)"
+        )
+        return 0
+
+    result = run_lint(paths, baseline_path=baseline_path)
+
+    if not args.quiet:
+        for finding in result.findings:
+            print(finding.render())
+
+    summary = (
+        f"{result.files_checked} files checked, "
+        f"{len(result.findings)} finding(s), "
+        f"{result.suppressed} suppressed, "
+        f"{len(result.baselined)} baselined"
+    )
+    print(summary if not result.findings else f"FAILED: {summary}")
+
+    if args.json:
+        payload = json.dumps(result.to_json(), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.json).write_text(payload, encoding="utf-8")
+
+    return result.exit_code

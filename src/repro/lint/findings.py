@@ -1,0 +1,40 @@
+"""Finding record shared by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``context`` is the dotted lexical context (``Class.method`` or
+    ``<module>``); baselines key on ``(rule, path, context)`` rather than
+    line numbers so unrelated edits above a baselined finding do not
+    invalidate the baseline.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    context: str = "<module>"
+
+    def baseline_key(self) -> tuple:
+        return (self.rule, self.path, self.context)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message} [{self.context}]"

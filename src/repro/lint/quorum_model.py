@@ -1,0 +1,304 @@
+"""Canonical model of the repo's quorum arithmetic.
+
+The Q-series rules must stay in sync with the *definitions* in
+``repro/core/config.py`` and ``repro/core/quorums.py`` without
+hard-coding ``2*f + 1`` patterns here.  We parse those files, extract
+every named quorum expression (module-level functions returning
+arithmetic over parameters named ``f``/``t``/``n``, and ``@property``
+methods returning arithmetic over ``self.f``/``self.t``/``self.n``),
+and canonicalize each expression by *numeric multi-point evaluation*:
+the expression is evaluated at several fixed ``(f, t, n)`` sample
+points; two expressions with identical value tuples are the same
+threshold.  That handles ``max()``/``min()``/``math.ceil()``/floor
+division uniformly and means a renamed or re-derived property is still
+matched by value, never by spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Leaf names treated as the protocol parameters.  ``self.f``,
+#: ``config.f``, ``spec.t`` etc. all canonicalize to the bare name.
+PARAM_NAMES = frozenset({"f", "t", "n"})
+
+#: Sample points (f, t, n) chosen so distinct linear/ceil forms yield
+#: distinct value tuples; pairwise-coprime-ish and n large enough that
+#: n-f, n-t, (n+f+1)/2 stay positive and distinct.
+SAMPLE_POINTS: Tuple[Tuple[int, int, int], ...] = (
+    (2, 1, 11),
+    (3, 2, 17),
+    (5, 4, 31),
+    (7, 3, 47),
+)
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Div, ast.Mod)
+_CALL_FUNCS = frozenset({"max", "min", "ceil"})
+
+
+def leaf_param(node: ast.AST) -> Optional[str]:
+    """``f`` / ``self.f`` / ``config.f`` -> ``"f"``; else None."""
+    if isinstance(node, ast.Name) and node.id in PARAM_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in PARAM_NAMES:
+        # Only treat short attribute chains (self.f, config.f,
+        # self.config.f) as parameters; deep unrelated chains are not.
+        return node.attr
+    return None
+
+
+def is_quorum_expr(node: ast.AST) -> bool:
+    """True if ``node`` is pure arithmetic over f/t/n and int literals,
+    containing at least one parameter leaf and at least one operation."""
+    found = {"param": False, "op": False}
+
+    def check(sub: ast.AST) -> bool:
+        param = leaf_param(sub)
+        if param is not None:
+            found["param"] = True
+            return True
+        if isinstance(sub, ast.Constant):
+            return isinstance(sub.value, int) and not isinstance(sub.value, bool)
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, _ARITH_OPS):
+            found["op"] = True
+            return check(sub.left) and check(sub.right)
+        if isinstance(sub, ast.UnaryOp) and isinstance(sub.op, (ast.USub, ast.UAdd)):
+            return check(sub.operand)
+        if isinstance(sub, ast.Call):
+            from .modinfo import call_name
+
+            if call_name(sub) in _CALL_FUNCS and sub.args and not sub.keywords:
+                found["op"] = True
+                return all(check(a) for a in sub.args)
+            return False
+        return False
+
+    return check(node) and found["param"] and found["op"]
+
+
+class _Evaluator:
+    """Evaluate a quorum expression at one (f, t, n) point.
+
+    ``functions`` maps a known function name to (param-names, body-expr)
+    so definitions like ``commit_quorum`` that delegate to another named
+    function still canonicalize.
+    """
+
+    def __init__(self, functions: Dict[str, Tuple[List[str], ast.AST]]):
+        self.functions = functions
+
+    def eval(self, node: ast.AST, env: Dict[str, int], depth: int = 0) -> int:
+        if depth > 8:
+            raise ValueError("recursion too deep")
+        param = leaf_param(node)
+        if param is not None:
+            return env[param]
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, int) and not isinstance(node.value, bool):
+                return node.value
+            raise ValueError("non-int constant")
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env, depth + 1)
+            right = self.eval(node.right, env, depth + 1)
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.FloorDiv):
+                return left // right
+            if isinstance(node.op, ast.Div):
+                # True division inside ceil(); represent exactly via
+                # scaled rationals is overkill — ceil(a/b) is the only
+                # real use, handled in the Call branch below.  A bare
+                # Div outside ceil truncates like floordiv for
+                # canonicalization purposes.
+                return left // right
+            if isinstance(node.op, ast.Mod):
+                return left % right
+            raise ValueError("unsupported binop")
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env, depth + 1)
+            if isinstance(node.op, ast.USub):
+                return -operand
+            if isinstance(node.op, ast.UAdd):
+                return operand
+            raise ValueError("unsupported unaryop")
+        if isinstance(node, ast.Call):
+            from .modinfo import call_name
+
+            name = call_name(node)
+            if name == "max":
+                return max(self.eval(a, env, depth + 1) for a in node.args)
+            if name == "min":
+                return min(self.eval(a, env, depth + 1) for a in node.args)
+            if name == "ceil" and len(node.args) == 1:
+                arg = node.args[0]
+                # ceil(a / b) computed exactly as -(-a // b).
+                if isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Div):
+                    num = self.eval(arg.left, env, depth + 1)
+                    den = self.eval(arg.right, env, depth + 1)
+                    return -(-num // den)
+                return self.eval(arg, env, depth + 1)
+            if name in self.functions:
+                params, body = self.functions[name]
+                args = [self.eval(a, env, depth + 1) for a in node.args]
+                if len(args) != len(params):
+                    raise ValueError("arity mismatch")
+                return self.eval(body, dict(zip(params, args)), depth + 1)
+            raise ValueError(f"unknown call {name}")
+        raise ValueError(f"unsupported node {type(node).__name__}")
+
+
+def signature_of(
+    node: ast.AST,
+    functions: Optional[Dict[str, Tuple[List[str], ast.AST]]] = None,
+) -> Optional[Tuple[int, ...]]:
+    """Value tuple of ``node`` over SAMPLE_POINTS, or None if it cannot
+    be evaluated (unknown call, non-int leaf, ...)."""
+    evaluator = _Evaluator(functions or {})
+    values = []
+    for f, t, n in SAMPLE_POINTS:
+        try:
+            values.append(evaluator.eval(node, {"f": f, "t": t, "n": n}))
+        except (ValueError, ZeroDivisionError, KeyError):
+            return None
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class QuorumDefinition:
+    name: str  # e.g. "ProtocolConfig.vote_quorum" or "commit_quorum"
+    signature: Tuple[int, ...]
+    suggestion: str  # how to spell the replacement in client code
+
+
+class QuorumModel:
+    """Signature -> named definition(s) lookup table."""
+
+    def __init__(self) -> None:
+        self.by_signature: Dict[Tuple[int, ...], List[QuorumDefinition]] = {}
+        self.functions: Dict[str, Tuple[List[str], ast.AST]] = {}
+
+    def add(self, definition: QuorumDefinition) -> None:
+        bucket = self.by_signature.setdefault(definition.signature, [])
+        if all(d.name != definition.name for d in bucket):
+            bucket.append(definition)
+
+    def lookup(self, sig: Tuple[int, ...]) -> List[QuorumDefinition]:
+        return self.by_signature.get(sig, [])
+
+    # -- extraction ---------------------------------------------------
+
+    def ingest_module(self, tree: ast.Module, label: str) -> None:
+        """Harvest definitions from a config/quorums-style module.
+
+        Two shapes are recognized:
+
+        * module-level ``def name(f, t=...) -> int: return <expr>``
+          where the return expression is quorum arithmetic over the
+          parameter names, and
+        * ``@property`` methods inside any class whose return expression
+          is quorum arithmetic over ``self.f``/``self.t``/``self.n``
+          (conditional thresholds via ``IfExp`` register both arms).
+        """
+        # Pass 1: module-level functions (also recorded in
+        # ``self.functions`` so properties that delegate to them — e.g.
+        # commit_quorum — still evaluate).
+        for node in tree.body:
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            ret = _sole_return_expr(node)
+            if ret is None:
+                continue
+            params = [a.arg for a in node.args.args]
+            if not params or not set(params) <= PARAM_NAMES:
+                continue
+            self.functions[node.name] = (params, ret)
+            for arm in _ifexp_arms(ret):
+                sig = signature_of(arm, self.functions)
+                if sig is not None and is_quorum_expr(arm):
+                    self.add(
+                        QuorumDefinition(
+                            name=node.name,
+                            signature=sig,
+                            suggestion=f"{node.name}({', '.join(params)})",
+                        )
+                    )
+        # Pass 2: properties on any class.
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if not isinstance(item, ast.FunctionDef):
+                    continue
+                if not any(
+                    isinstance(d, ast.Name) and d.id == "property"
+                    for d in item.decorator_list
+                ):
+                    continue
+                ret = _sole_return_expr(item)
+                if ret is None:
+                    continue
+                for arm in _ifexp_arms(ret):
+                    sig = signature_of(arm, self.functions)
+                    if sig is None:
+                        continue
+                    if not (is_quorum_expr(arm) or isinstance(arm, ast.Call)):
+                        continue
+                    self.add(
+                        QuorumDefinition(
+                            name=f"{node.name}.{item.name}",
+                            signature=sig,
+                            suggestion=f"config.{item.name}",
+                        )
+                    )
+
+
+def _sole_return_expr(func: ast.FunctionDef) -> Optional[ast.AST]:
+    """The expression of the function's final ``return``, if any."""
+    for stmt in reversed(func.body):
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            return stmt.value
+    return None
+
+
+def _ifexp_arms(node: ast.AST) -> List[ast.AST]:
+    """Flatten ``a if cond else b`` into its arms (recursively)."""
+    if isinstance(node, ast.IfExp):
+        return _ifexp_arms(node.body) + _ifexp_arms(node.orelse)
+    return [node]
+
+
+#: Basenames whose modules are harvested for definitions and exempt
+#: from Q-findings (they *are* the definition sites).
+DEFINITION_BASENAMES = frozenset({"config.py", "quorums.py"})
+
+
+def build_model(extra_modules: List[Tuple[ast.Module, str]]) -> QuorumModel:
+    """Model from the canonical core files plus any linted definition
+    modules (lets fixtures bring their own config.py)."""
+    model = QuorumModel()
+    for path in _core_definition_paths():
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError, ValueError):
+            continue
+        model.ingest_module(tree, path.name)
+    for tree, label in extra_modules:
+        model.ingest_module(tree, label)
+    return model
+
+
+def _core_definition_paths() -> List[Path]:
+    try:
+        import repro.core.config as _config
+        import repro.core.quorums as _quorums
+    except ImportError:
+        return []
+    # quorums first so config properties that call its functions resolve.
+    return [Path(_quorums.__file__), Path(_config.__file__)]

@@ -1,0 +1,67 @@
+"""Rule registry: every rule family plus suppression meta-rules."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Rule
+from .rules_dataflow import DATAFLOW_RULES
+from .rules_determinism import DETERMINISM_RULES
+from .rules_quorum import QUORUM_RULES
+
+
+class MissingJustificationRule(Rule):
+    """Metadata entry; emitted by the suppression scanner."""
+
+    id = "SUP001"
+    title = "suppression without justification"
+    rationale = (
+        "Every `# lint: ignore[RULE]` must say why the violation is "
+        "acceptable; an unexplained suppression hides drift."
+    )
+    bad = "x = time.time()  # lint: ignore[D101]"
+    good = "x = time.time()  # lint: ignore[D101]: wall time only in report metadata"
+
+    def check(self, info, ctx):  # pragma: no cover - never dispatched
+        return []
+
+
+class UnusedSuppressionRule(Rule):
+    """Metadata entry; emitted by the suppression scanner."""
+
+    id = "SUP002"
+    title = "suppression matches no finding"
+    rationale = (
+        "A suppression whose violation is gone (or whose rule id is "
+        "misspelled) is dead weight and masks future regressions."
+    )
+    bad = "y = a + b  # lint: ignore[D101]: stale comment"
+    good = "y = a + b"
+
+    def check(self, info, ctx):  # pragma: no cover - never dispatched
+        return []
+
+
+ALL_RULES: List[Rule] = [
+    *DETERMINISM_RULES,
+    *QUORUM_RULES,
+    *DATAFLOW_RULES,
+    MissingJustificationRule(),
+    UnusedSuppressionRule(),
+]
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+
+def rule_table() -> List[Dict[str, str]]:
+    """Rows for ``--list-rules`` and the README table."""
+    return [
+        {
+            "id": rule.id,
+            "title": rule.title,
+            "rationale": rule.rationale,
+            "bad": rule.bad,
+            "good": rule.good,
+        }
+        for rule in ALL_RULES
+    ]

@@ -1,0 +1,170 @@
+"""Q-series rules: quorum thresholds must use their named definitions.
+
+The paper's resilience bound (n >= max(3f + 2t - 1, 3f + 1)) and the
+derived thresholds (vote/fast/commit quorums, cert sizes, f+1 /
+2f+1 SMR quorums) live as *named* properties and functions in
+``repro/core/config.py`` and ``repro/core/quorums.py``.  Re-deriving
+them as inline literals (``2*f + 1``) silently drifts when the model
+changes.  Detection is structural: candidate expressions and the named
+definitions are both canonicalized by multi-point numeric evaluation
+(see :mod:`repro.lint.quorum_model`), so renames and re-spellings stay
+in sync automatically — no hard-coded patterns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .base import LintContext, Rule
+from .findings import Finding
+from .modinfo import ModuleInfo, call_name, context_of, enclosing_class
+from .quorum_model import (
+    DEFINITION_BASENAMES,
+    is_quorum_expr,
+    leaf_param,
+    signature_of,
+)
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Div, ast.Mod)
+_WRAPPER_CALLS = frozenset({"max", "min", "ceil"})
+
+
+def _is_exprish_parent(parent: Optional[ast.AST], node: ast.AST) -> bool:
+    """True if ``parent`` would make ``node`` a sub-expression of a
+    larger quorum expression (so only the maximal expression fires)."""
+    if isinstance(parent, ast.BinOp) and isinstance(parent.op, _ARITH_OPS):
+        return True
+    if isinstance(parent, ast.UnaryOp):
+        return True
+    if isinstance(parent, ast.Call) and call_name(parent) in _WRAPPER_CALLS:
+        return node in parent.args
+    return False
+
+
+def _in_allowed_context(info: ModuleInfo, node: ast.AST) -> bool:
+    """Definition sites are exempt: the canonical config/quorums
+    modules, and the body of any ``*Config`` class (protocol variants
+    define their own thresholds there)."""
+    if info.basename in DEFINITION_BASENAMES:
+        return True
+    cls = enclosing_class(info, node)
+    return cls is not None and cls.name.endswith("Config")
+
+
+def _is_range_arg(info: ModuleInfo, node: ast.AST) -> bool:
+    """``range(f + 1)`` sweeps over fault counts are not thresholds."""
+    parent = info.parents.get(node)
+    return (
+        isinstance(parent, ast.Call)
+        and call_name(parent) == "range"
+        and node in parent.args
+    )
+
+
+def _has_param(node: ast.AST) -> bool:
+    return any(leaf_param(sub) is not None for sub in ast.walk(node))
+
+
+def _looks_threshold_like(node: ast.AST) -> bool:
+    """Gate for Q202 (unknown form): require >= 2 distinct parameter
+    leaves or a constant multiplication, so benign counting arithmetic
+    (``n - 1`` peers, ``n * n`` all-to-all message counts) does not
+    demand a named property.  Thresholds are affine in f/t/n — a
+    param-times-param product is a complexity figure, not a quorum."""
+    params = set()
+    has_mult = False
+    for sub in ast.walk(node):
+        p = leaf_param(sub)
+        if p is not None:
+            params.add(p)
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Mult):
+            if _has_param(sub.left) and _has_param(sub.right):
+                return False
+            has_mult = True
+    return len(params) >= 2 or has_mult
+
+
+class QuorumLiteralRule(Rule):
+    id = "Q201"
+    title = "threshold literal re-derives a named quorum"
+    rationale = (
+        "Inline f/t/n arithmetic that equals a named quorum definition "
+        "drifts silently when the resilience model changes; call the "
+        "named property/function instead."
+    )
+    bad = "if len(votes) >= 2 * self.f + 1: ..."
+    good = "if len(votes) >= self.checkpoint_quorum: ...  # = majority_correct(f)"
+
+    def check(self, info: ModuleInfo, ctx: LintContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(info.tree):
+            if not isinstance(node, (ast.BinOp, ast.Call)):
+                continue
+            if isinstance(node, ast.Call) and call_name(node) not in _WRAPPER_CALLS:
+                continue
+            if _is_exprish_parent(info.parents.get(node), node):
+                continue  # a larger expression will be checked instead
+            if not is_quorum_expr(node):
+                continue
+            if _in_allowed_context(info, node):
+                continue
+            if _is_range_arg(info, node):
+                continue
+            sig = signature_of(node, ctx.model.functions)
+            if sig is None:
+                continue
+            matches = ctx.model.lookup(sig)
+            if matches:
+                names = ", ".join(sorted(d.name for d in matches))
+                suggestion = sorted(d.suggestion for d in matches)[0]
+                findings.append(
+                    Finding(
+                        path=info.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule=self.id,
+                        message=(
+                            f"inline threshold `{ast.unparse(node)}` "
+                            f"re-derives {names}; use e.g. `{suggestion}`"
+                        ),
+                        context=context_of(info, node),
+                    )
+                )
+            elif _looks_threshold_like(node):
+                findings.append(
+                    Finding(
+                        path=info.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="Q202",
+                        message=(
+                            f"threshold-like expression `{ast.unparse(node)}` "
+                            "matches no named quorum definition; add a named "
+                            "property to core/config.py or core/quorums.py "
+                            "and call it"
+                        ),
+                        context=context_of(info, node),
+                    )
+                )
+        return findings
+
+
+class UnknownThresholdRule(Rule):
+    """Metadata-only entry for Q202 (emitted by QuorumLiteralRule so
+    both checks share one canonicalization pass)."""
+
+    id = "Q202"
+    title = "threshold-like arithmetic with no named definition"
+    rationale = (
+        "New threshold forms belong next to the existing definitions "
+        "so the resilience bound stays auditable in one place."
+    )
+    bad = "need = 2 * self.n - 3 * self.f"
+    good = "# core/config.py\n@property\ndef my_quorum(self): return 2 * self.n - 3 * self.f"
+
+    def check(self, info: ModuleInfo, ctx: LintContext) -> List[Finding]:
+        return []  # emitted by QuorumLiteralRule
+
+
+QUORUM_RULES = [QuorumLiteralRule(), UnknownThresholdRule()]

@@ -1,0 +1,132 @@
+"""Inline suppression comments.
+
+Syntax::
+
+    bad_call()  # lint: ignore[D101]: wall time only in report metadata
+
+    # lint: ignore[Q201, Q202]: pedagogical re-derivation in example
+    need = 2 * f + 1
+
+A suppression on its own line applies to the next line; trailing
+suppressions apply to their own line.  The justification after the
+second colon is mandatory — omitting it still suppresses the finding
+but emits ``SUP001`` so CI fails until the why is written down.  A
+suppression that ends up matching no finding emits ``SUP002``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+from .modinfo import ModuleInfo
+
+_PATTERN = re.compile(
+    r"#\s*lint:\s*ignore\[(?P<rules>[A-Za-z0-9_,\s*]+)\]\s*(?::\s*(?P<why>.*))?$"
+)
+
+
+@dataclass
+class Suppression:
+    line: int  # line the comment is on
+    target_line: int  # line findings must be on to match
+    rules: Tuple[str, ...]  # rule ids, or ("*",)
+    justification: str
+    used: bool = field(default=False)
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.line != self.target_line:
+            return False
+        return "*" in self.rules or finding.rule in self.rules
+
+
+def scan_suppressions(info: ModuleInfo) -> List[Suppression]:
+    suppressions: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(info.source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    source_lines = info.source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(tok.string)
+        if not match:
+            continue
+        line = tok.start[0]
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        why = (match.group("why") or "").strip()
+        text = source_lines[line - 1] if line <= len(source_lines) else ""
+        standalone = text.lstrip().startswith("#")
+        suppressions.append(
+            Suppression(
+                line=line,
+                target_line=line + 1 if standalone else line,
+                rules=rules,
+                justification=why,
+            )
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    info: ModuleInfo, findings: List[Finding]
+) -> Tuple[List[Finding], List[Finding], int]:
+    """Filter ``findings`` through the file's suppressions.
+
+    Returns ``(kept, meta_findings, suppressed_count)`` where
+    ``meta_findings`` are SUP001/SUP002 violations from the
+    suppressions themselves.
+    """
+    suppressions = scan_suppressions(info)
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        hit = None
+        for sup in suppressions:
+            if sup.matches(finding):
+                hit = sup
+                break
+        if hit is None:
+            kept.append(finding)
+        else:
+            hit.used = True
+            suppressed += 1
+    meta: List[Finding] = []
+    for sup in suppressions:
+        if not sup.justification:
+            meta.append(
+                Finding(
+                    path=info.relpath,
+                    line=sup.line,
+                    col=0,
+                    rule="SUP001",
+                    message=(
+                        "suppression has no justification; write "
+                        "`# lint: ignore[RULE]: <why this is acceptable>`"
+                    ),
+                    context=f"ignore[{','.join(sup.rules)}]",
+                )
+            )
+        if not sup.used:
+            meta.append(
+                Finding(
+                    path=info.relpath,
+                    line=sup.line,
+                    col=0,
+                    rule="SUP002",
+                    message=(
+                        f"suppression ignore[{','.join(sup.rules)}] matches "
+                        "no finding on its target line; remove it or fix "
+                        "the rule id"
+                    ),
+                    context=f"ignore[{','.join(sup.rules)}]",
+                )
+            )
+    return kept, meta, suppressed

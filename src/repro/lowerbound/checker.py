@@ -18,6 +18,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
+from ..core.quorums import min_suspect_set
 from .executions import (
     InitialConfiguration,
     ProtocolFactory,
@@ -49,9 +50,9 @@ def suspect_fault_sets(
     designated leader's second-round participation can exclude that
     leader from M and the bound still holds.
     """
-    if len(suspects) < 2 * t + 2:
+    if len(suspects) < min_suspect_set(t):
         raise ValueError(
-            f"the suspects set must have at least 2t + 2 = {2 * t + 2} "
+            f"the suspects set must have at least 2t + 2 = {min_suspect_set(t)} "
             f"members (got {len(suspects)}); below that the lower-bound "
             f"argument cannot pick its disjoint fault sets"
         )

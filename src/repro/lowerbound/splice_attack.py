@@ -39,6 +39,7 @@ from ..byzantine.splice import SpliceCompanion, SpliceViewTwoLeader
 from ..core.config import ProtocolConfig
 from ..core.fastbft import FastBFTProcess
 from ..core.generalized import GeneralizedFBFTProcess
+from ..core.quorums import min_processes_fast_bft
 from ..crypto.keys import KeyRegistry
 from ..sim.network import SynchronousDelay
 from ..sim.process import Process
@@ -97,9 +98,9 @@ def run_splice_attack(
         raise ValueError("the splice construction needs f >= 2")
     if t < 1 or t > f:
         raise ValueError(f"need 1 <= t <= f, got t={t}")
+    min_n = min_processes_fast_bft(f, t) - 1
     if n is None:
-        n = 3 * f + 2 * t - 2
-    min_n = 3 * f + 2 * t - 2
+        n = min_n
     if n < min_n:
         raise ValueError(f"n={n} below the attack's structure (needs >= {min_n})")
 
@@ -112,7 +113,8 @@ def run_splice_attack(
     view2_leader = config.leader_of(2)
     assert view2_leader == 1, "round-robin leader map puts view 2 on pid 1"
     correct = [pid for pid in range(n) if pid not in byzantine]
-    x_count = n - t - f  # correct processes that must decide x fast
+    # Correct members of a full fast quorum once all f Byzantine join it.
+    x_count = config.fast_quorum - f
     x_group = tuple(correct[:x_count])
     y_group = tuple(correct[x_count:])
     assert len(y_group) == t
@@ -231,6 +233,7 @@ def splice_boundary_demo(f: int, t: Optional[int] = None) -> Tuple[SpliceOutcome
     """
     if t is None:
         t = f
-    below = run_splice_attack(f=f, t=t, n=3 * f + 2 * t - 2)
-    at = run_splice_attack(f=f, t=t, n=3 * f + 2 * t - 1)
+    bound = min_processes_fast_bft(f, t)
+    below = run_splice_attack(f=f, t=t, n=bound - 1)
+    at = run_splice_attack(f=f, t=t, n=bound)
     return below, at

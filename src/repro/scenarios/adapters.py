@@ -103,9 +103,12 @@ class BuiltScenario:
 
 
 def _split_pids(spec: ScenarioSpec) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
-    byz = set(spec.byzantine_pids)
+    # Precompute both membership sets once; pid order comes from the
+    # range() sweep, so the output stays sorted regardless.
+    byz = frozenset(spec.byzantine_pids)
+    faulty = frozenset(spec.faulty_pids)
     honest = tuple(pid for pid in range(spec.n) if pid not in byz)
-    live = tuple(pid for pid in honest if pid not in set(spec.faulty_pids))
+    live = tuple(pid for pid in honest if pid not in faulty)
     return honest, live
 
 

@@ -15,6 +15,7 @@ corrupts processes, not messages).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
+from random import Random
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..sim.network import (
@@ -289,9 +290,7 @@ class WorkloadSpec:
 
     def commands_for(self, client_index: int) -> List[Tuple[Any, ...]]:
         """The deterministic command sequence for one client."""
-        import random
-
-        rng = random.Random(f"{self.seed}/{client_index}")
+        rng = Random(f"{self.seed}/{client_index}")
         commands: List[Tuple[Any, ...]] = []
         for i in range(self.requests_per_client):
             if self.hot_fraction and rng.random() < self.hot_fraction:

@@ -47,8 +47,8 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import random
 from dataclasses import dataclass, field
+from random import Random
 from functools import partial
 from typing import (
     Any,
@@ -144,10 +144,10 @@ class PartialSynchronyDelay:
     gst: float = 0.0
     pre_gst_max: float = 50.0
     seed: int = 0
-    _rng: random.Random = field(init=False, repr=False)
+    _rng: Random = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._rng = random.Random(self.seed)
+        self._rng = Random(self.seed)
 
     def delay(self, src: ProcessId, dst: ProcessId, send_time: float) -> float:
         if send_time >= self.gst:
@@ -164,12 +164,12 @@ class RandomDelay:
     min_delay: float = 0.5
     max_delay: float = 1.5
     seed: int = 0
-    _rng: random.Random = field(init=False, repr=False)
+    _rng: Random = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.min_delay < 0 or self.max_delay < self.min_delay:
             raise ValueError("need 0 <= min_delay <= max_delay")
-        self._rng = random.Random(self.seed)
+        self._rng = Random(self.seed)
 
     def delay(self, src: ProcessId, dst: ProcessId, send_time: float) -> float:
         return self._rng.uniform(self.min_delay, self.max_delay)

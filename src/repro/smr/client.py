@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..core.quorums import one_correct
 from ..sim.process import Process
 from .kvstore import Command
 from .replica import Reply, Request
@@ -144,7 +145,7 @@ class SMRClient(Process):
         key = (payload.result, payload.slot)
         senders = votes.setdefault(key, set())
         senders.add(sender)
-        if len(senders) >= self.f + 1:
+        if len(senders) >= one_correct(self.f):
             outcome.completed_at = self.now
             outcome.result = payload.result
             outcome.slot = payload.slot

@@ -67,6 +67,7 @@ from ..core.config import (
 )
 from ..core.generalized import GeneralizedFBFTProcess
 from ..core.payloads import checkpoint_payload, demotion_payload
+from ..core.quorums import majority_correct, one_correct
 from ..crypto.keys import KeyRegistry, Signer
 from ..obs.monitor import DemotionVote, LeaderMonitor
 from ..sim.process import Process, ProcessContext
@@ -380,7 +381,7 @@ class SMRReplica(Process):
         of them are correct, so compacting below it never strands the
         cluster, and a certificate built from them convinces any
         recovering replica."""
-        return 2 * self.f + 1
+        return majority_correct(self.f)
 
     @property
     def leader_monitor(self) -> Optional[LeaderMonitor]:
@@ -392,7 +393,7 @@ class SMRReplica(Process):
         """Demotion votes that force a view change: ``2f + 1`` — at most
         ``f`` Byzantine replicas can neither fabricate a demotion nor
         (with ``2f + 1`` correct voters available) veto one."""
-        return 2 * self.f + 1
+        return majority_correct(self.f)
 
     def monitor_stats(self) -> Optional[Dict[str, Any]]:
         """Monitor snapshot (view floor, votes, window means) or ``None``."""
@@ -492,7 +493,7 @@ class SMRReplica(Process):
         per_value = self._decide_gossip.setdefault(message.slot, {})
         senders = per_value.setdefault(message.value, set())
         senders.add(sender)
-        if len(senders) >= self.f + 1:
+        if len(senders) >= one_correct(self.f):
             self._adopt_decision(message.slot, message.value)
 
     # ------------------------------------------------------------------
@@ -1053,7 +1054,7 @@ class SMRReplica(Process):
         claims = self._catchup.checkpoint_claims(
             checkpoint.slot, checkpoint.digest
         )
-        return len(claims) >= self.f + 1
+        return len(claims) >= one_correct(self.f)
 
     def _install_remote_checkpoint(self, checkpoint: Checkpoint) -> None:
         """Jump the replica's execution to a peer's stable checkpoint."""

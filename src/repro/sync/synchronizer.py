@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from ..core.quorums import majority_correct, one_correct
+
 __all__ = ["WishMessage", "Pacemaker"]
 
 
@@ -74,9 +76,11 @@ class Pacemaker:
         entry_quorum: Optional[int] = None,
         amplify_quorum: Optional[int] = None,
     ) -> None:
-        self.entry_quorum = entry_quorum if entry_quorum is not None else 2 * f + 1
+        self.entry_quorum = (
+            entry_quorum if entry_quorum is not None else majority_correct(f)
+        )
         self.amplify_quorum = (
-            amplify_quorum if amplify_quorum is not None else f + 1
+            amplify_quorum if amplify_quorum is not None else one_correct(f)
         )
         if n < self.entry_quorum:
             # The entry threshold must fit in n.  We deliberately do not

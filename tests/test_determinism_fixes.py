@@ -1,0 +1,92 @@
+"""Regression tests for the determinism/lint-fix PR.
+
+Covers the satellite fixes: seeded-``Random`` routing in the sim delay
+models and workload specs (two runs must produce identical digests),
+the hoisted frozenset in ``scenarios.adapters._split_pids``, and the
+named SMR quorum helpers replacing inline literals.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.core.quorums import (
+    majority_correct,
+    min_processes_fast_bft,
+    min_suspect_set,
+    one_correct,
+    selection_threshold,
+)
+from repro.scenarios.adapters import _split_pids
+from repro.scenarios.library import get_scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import WorkloadSpec
+from repro.sim.network import PartialSynchronyDelay, RandomDelay
+
+
+class TestSeededDelayModels:
+    def test_random_delay_is_reproducible(self):
+        a = RandomDelay(min_delay=0.5, max_delay=1.5, seed=7)
+        b = RandomDelay(min_delay=0.5, max_delay=1.5, seed=7)
+        seq_a = [a.delay(0, 1, float(i)) for i in range(50)]
+        seq_b = [b.delay(0, 1, float(i)) for i in range(50)]
+        assert seq_a == seq_b
+
+    def test_partial_synchrony_is_reproducible(self):
+        a = PartialSynchronyDelay(gst=40.0, pre_gst_max=25.0, seed=3)
+        b = PartialSynchronyDelay(gst=40.0, pre_gst_max=25.0, seed=3)
+        seq_a = [a.delay(0, 1, float(i)) for i in range(50)]
+        seq_b = [b.delay(0, 1, float(i)) for i in range(50)]
+        assert seq_a == seq_b
+
+    def test_partial_synchrony_scenario_digest_identical_across_runs(self):
+        spec = get_scenario("pre-gst-chaos")
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first.trace_digest == second.trace_digest
+        assert first.decided and second.decided
+
+    def test_workload_commands_reproducible(self):
+        spec = WorkloadSpec(seed=11, requests_per_client=20, key_space=5)
+        assert spec.commands_for(0) == spec.commands_for(0)
+        assert spec.commands_for(1) == spec.commands_for(1)
+        # Distinct clients draw from distinct seeded streams.
+        assert spec.commands_for(0) != spec.commands_for(1)
+
+
+class TestSplitPids:
+    def test_split_pids_semantics_preserved(self):
+        spec = SimpleNamespace(
+            n=7, byzantine_pids=(1, 4), faulty_pids=(2, 6)
+        )
+        honest, live = _split_pids(spec)
+        assert honest == (0, 2, 3, 5, 6)
+        assert live == (0, 3, 5)
+        # Output order is sorted regardless of input order.
+        spec = SimpleNamespace(
+            n=7, byzantine_pids=(4, 1), faulty_pids=(6, 2)
+        )
+        assert _split_pids(spec) == (honest, live)
+
+    def test_split_pids_empty_fault_sets(self):
+        spec = SimpleNamespace(n=4, byzantine_pids=(), faulty_pids=())
+        honest, live = _split_pids(spec)
+        assert honest == live == (0, 1, 2, 3)
+
+
+class TestNamedQuorumHelpers:
+    def test_values(self):
+        assert one_correct(0) == 1
+        assert one_correct(3) == 4
+        assert majority_correct(0) == 1
+        assert majority_correct(3) == 7
+        assert min_suspect_set(2) == 6
+        assert selection_threshold(3, 2) == 5
+        # Vanilla protocol: selection threshold degenerates to 2f.
+        assert selection_threshold(3, 3) == 6
+
+    def test_paper_bound_special_cases(self):
+        # 5f - 1 at t = f; 3f + 1 at t = 1 (used by E2/E13 sizing).
+        for f in range(2, 6):
+            assert min_processes_fast_bft(f, f) == 5 * f - 1
+            assert min_processes_fast_bft(f, 1) == 3 * f + 1
