@@ -12,6 +12,11 @@ from .profiling import (
     timer_churn,
     write_bench_json,
 )
+from .fuzzbench import (
+    MIN_GUIDED_BUDGET,
+    FuzzComparison,
+    compare_campaigns,
+)
 from .grids import (
     GridComparison,
     compare_grid_payloads,
@@ -36,7 +41,9 @@ from .report import format_markdown_table, format_scenario_results, format_table
 __all__ = [
     "CatchupResult",
     "CommonCaseResult",
+    "FuzzComparison",
     "GridComparison",
+    "MIN_GUIDED_BUDGET",
     "MonitorTailResult",
     "PROTOCOLS",
     "PhaseProfiler",
@@ -45,6 +52,7 @@ __all__ = [
     "ThroughputResult",
     "broadcast_storm",
     "build_protocol",
+    "compare_campaigns",
     "compare_grid_payloads",
     "cprofile_top",
     "event_churn",

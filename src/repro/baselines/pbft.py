@@ -162,6 +162,16 @@ class PBFTProcess(DecidingProcess):
         self.broadcast(Prepare(value=message.value, view=message.view))
 
     def _handle_prepare(self, sender: int, message: Prepare) -> None:
+        if message.view < self.view:
+            # Stale view: counting these would let a view-1 prepare
+            # quorum complete *after* the view change at replicas that
+            # never prepared in view 1 — their commits could then decide
+            # the old value while view 2 decides a new one (found by the
+            # fault-schedule fuzzer; delay alone triggers it).  Dropping
+            # them restores the invariant that an old-view decision
+            # implies a commit quorum whose senders all prepared that
+            # value, which the view change then carries forward.
+            return
         key = (message.value, message.view)
         senders = self._prepares.setdefault(key, set())
         senders.add(sender)
@@ -175,6 +185,8 @@ class PBFTProcess(DecidingProcess):
             self.broadcast(PBFTCommit(value=message.value, view=message.view))
 
     def _handle_commit(self, sender: int, message: PBFTCommit) -> None:
+        if message.view < self.view:
+            return  # stale view — same argument as in _handle_prepare
         key = (message.value, message.view)
         senders = self._commits.setdefault(key, set())
         senders.add(sender)

@@ -1,4 +1,4 @@
-"""The canonical E1–E18 registry entries.
+"""The canonical E1–E19 registry entries.
 
 Every experiment from EXPERIMENTS.md is one :class:`ExperimentSpec`: a
 parameter grid plus a driver that evaluates a *single* grid point.  The
@@ -20,6 +20,7 @@ from ..analysis import (
     PROTOCOLS,
     Stats,
     build_protocol,
+    compare_campaigns,
     repeat_latency,
     run_catchup,
     run_common_case,
@@ -1252,6 +1253,52 @@ register(
                 "severity", "window", "monitor", "done", "duration",
                 "p50", "p95", "p99", "demotions", "view floor",
             )
+        },
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# E19 — coverage-guided fuzzing: guided vs blind signature discovery
+# ---------------------------------------------------------------------------
+
+
+def e19_driver(params: Dict[str, Any], seed: int) -> TaskResult:
+    """Guided-vs-blind campaign comparison at one budget.
+
+    Serial by construction (``compare_campaigns`` never shards): this
+    driver already runs inside a pool worker when the runner
+    parallelizes, and daemonic workers cannot nest pools.  The seed
+    stream is pinned by ``start``, so rows are deterministic.
+    """
+    comparison = compare_campaigns(
+        budget=params["budget"], start_seed=params["start"]
+    )
+    rows: List[Tuple[str, List[Any]]] = [
+        ("compare", row) for row in comparison.compare_rows()
+    ]
+    rows.extend(("trajectory", row) for row in comparison.trajectory_rows())
+    return TaskResult(rows=rows)
+
+
+register(
+    ExperimentSpec(
+        id="E19",
+        name="fuzz",
+        title="coverage-guided campaigns beat blind fuzzing at equal budget",
+        paper_ref="robustness due diligence (repro.fuzz; not a paper figure)",
+        driver=e19_driver,
+        grid=grid(budget=(256, 384), start=(0,)),
+        quick_grid=grid(budget=(256,), start=(0,)),
+        columns={
+            "compare": (
+                "mode", "budget", "start", "executed", "unique sigs",
+                "corpus", "features", "failures",
+            ),
+            "trajectory": (
+                "mode", "budget", "round", "executed", "unique sigs",
+                "corpus", "mutants",
+            ),
         },
     )
 )

@@ -1,0 +1,47 @@
+"""Coverage-guided fault-schedule fuzzing (the AFL loop over scenarios).
+
+The blind fuzzer (:mod:`repro.scenarios.fuzz`) walks consecutive seeds
+and learns nothing from what a run exercised.  This package closes the
+loop:
+
+* :mod:`~repro.fuzz.signature` — a deterministic execution-coverage
+  signature (views reached, fast-vs-slow path, partition shapes,
+  checkpoint/catchup activity, bucketed message counts, oracle outcomes
+  and *near-miss margins*) bucketed so noise is not novelty;
+* :mod:`~repro.fuzz.corpus` — signature-novel specs persisted as
+  canonical JSON, with energy-weighted scheduling and greedy set-cover
+  minimization;
+* :mod:`~repro.fuzz.mutators` — splice/perturb operators over
+  :class:`~repro.scenarios.spec.ScenarioSpec`, including plenum-style
+  per-payload-type delay-rule stashers;
+* :mod:`~repro.fuzz.campaign` — the round loop: sharded fleet execution
+  with deterministic merge (serial == sharded, byte-identical report
+  digests), dual seed/wall-clock budgets, shrinking of failures;
+* ``python -m repro.fuzz campaign|replay|corpus`` — the CLI.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignFailure,
+    CampaignReport,
+    run_blind,
+    run_campaign,
+)
+from .corpus import Corpus, CorpusEntry
+from .mutators import MUTATORS, PAYLOAD_TYPES, mutate
+from .signature import signature_features, signature_key
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignFailure",
+    "CampaignReport",
+    "Corpus",
+    "CorpusEntry",
+    "MUTATORS",
+    "PAYLOAD_TYPES",
+    "mutate",
+    "run_blind",
+    "run_campaign",
+    "signature_features",
+    "signature_key",
+]

@@ -1,0 +1,167 @@
+"""CLI for the coverage-guided fuzzer.
+
+Usage::
+
+    python -m repro.fuzz campaign --budget 256 [--shards 2] [--max-seconds 600]
+        [--corpus-in FILE] [--corpus-out FILE] [--json FILE] [--no-shrink]
+    python -m repro.fuzz replay KEY --corpus FILE
+    python -m repro.fuzz replay --spec FILE
+    python -m repro.fuzz corpus stats --corpus FILE
+    python -m repro.fuzz corpus minimize --corpus FILE [--out FILE]
+
+``campaign`` exits 0 only when every oracle passed on every run — the
+CI gate.  ``replay`` re-executes one corpus entry (by key prefix) or a
+reproducer spec file and prints the full result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..scenarios.fuzz import DEFAULT_FUZZ_PROTOCOLS
+from ..scenarios.runner import run_scenario
+from ..scenarios.spec import ScenarioError, ScenarioSpec
+from .campaign import CampaignConfig, run_campaign
+from .corpus import Corpus
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    corpus = Corpus.load(args.corpus_in) if args.corpus_in else Corpus()
+    config = CampaignConfig(
+        budget=args.budget,
+        start_seed=args.start,
+        protocols=(
+            tuple(args.protocols.split(","))
+            if args.protocols
+            else DEFAULT_FUZZ_PROTOCOLS
+        ),
+        shards=args.shards,
+        round_size=args.round_size,
+        max_seconds=args.max_seconds,
+        shrink=not args.no_shrink,
+    )
+
+    def progress(origin: str, outcome) -> None:
+        if not args.quiet:
+            status = "ok" if outcome["ok"] else "FAIL"
+            print(f"{origin:>24} [{outcome['coverage']['protocol']:>8}] -> {status}")
+
+    report = run_campaign(config, corpus=corpus, on_progress=progress)
+    if args.corpus_out:
+        corpus.save(args.corpus_out)
+        print(f"wrote corpus ({len(corpus.entries)} entries) to {args.corpus_out}")
+    if args.json:
+        payload = report.to_dict()
+        payload["digest"] = report.digest
+        payload["elapsed_seconds"] = report.elapsed_seconds
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote campaign report to {args.json}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as fh:
+            spec = ScenarioSpec.from_dict(json.load(fh))
+    else:
+        if not args.key or not args.corpus:
+            print("replay: give KEY with --corpus, or --spec FILE", file=sys.stderr)
+            return 2
+        corpus = Corpus.load(args.corpus)
+        matches = [
+            entry for entry in corpus.entries if entry.key.startswith(args.key)
+        ]
+        if len(matches) != 1:
+            print(
+                f"replay: key prefix {args.key!r} matches {len(matches)} "
+                f"entries (need exactly 1)",
+                file=sys.stderr,
+            )
+            return 2
+        spec = ScenarioSpec.from_dict(matches[0].spec)
+    result = run_scenario(spec)
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    corpus = Corpus.load(args.corpus)
+    if args.action == "stats":
+        print(json.dumps(corpus.stats(), indent=2, sort_keys=True))
+        return 0
+    reduced = corpus.minimize()
+    out = args.out or args.corpus
+    reduced.save(out)
+    print(
+        f"minimized {len(corpus.entries)} -> {len(reduced.entries)} entries "
+        f"(coverage preserved: {len(reduced.feature_counts)} features) -> {out}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Coverage-guided fault-schedule fuzzing campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run a coverage-guided campaign")
+    campaign.add_argument("--budget", type=int, default=256,
+                          help="seed budget: total scenario executions")
+    campaign.add_argument("--start", type=int, default=0,
+                          help="first generator seed / campaign rng seed")
+    campaign.add_argument(
+        "--protocols", default="",
+        help=f"comma-separated protocol keys (default {','.join(DEFAULT_FUZZ_PROTOCOLS)})",
+    )
+    campaign.add_argument("--shards", type=int, default=1,
+                          help="worker processes per round")
+    campaign.add_argument("--round-size", type=int, default=8,
+                          help="executions per round (shard-independent)")
+    campaign.add_argument("--max-seconds", type=float, default=None,
+                          help="wall-clock budget; stops at a round boundary")
+    campaign.add_argument("--corpus-in", default="",
+                          help="load a persisted corpus before the run")
+    campaign.add_argument("--corpus-out", default="",
+                          help="save the grown corpus after the run")
+    campaign.add_argument("--json", default="",
+                          help="write the campaign report to this file")
+    campaign.add_argument("--no-shrink", action="store_true",
+                          help="skip shrinking failing specs")
+    campaign.add_argument("--quiet", action="store_true",
+                          help="no per-run progress lines")
+
+    replay = sub.add_parser("replay", help="re-run a corpus entry or reproducer")
+    replay.add_argument("key", nargs="?", default="",
+                        help="signature-key prefix of a corpus entry")
+    replay.add_argument("--corpus", default="", help="corpus JSON to search")
+    replay.add_argument("--spec", default="",
+                        help="a reproducer spec JSON file (instead of KEY)")
+
+    corpus = sub.add_parser("corpus", help="inspect or minimize a corpus")
+    corpus.add_argument("action", choices=("stats", "minimize"))
+    corpus.add_argument("--corpus", required=True, help="corpus JSON file")
+    corpus.add_argument("--out", default="",
+                        help="minimize: write here instead of in place")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        if args.command == "replay":
+            return _cmd_replay(args)
+        return _cmd_corpus(args)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

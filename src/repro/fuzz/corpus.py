@@ -1,0 +1,227 @@
+"""The fuzzing corpus: signature-novel specs with energy scheduling.
+
+A corpus entry pairs a reproducible :class:`~repro.scenarios.spec.ScenarioSpec`
+(as its JSON dict) with the coverage signature its execution produced.
+A spec earns a slot only if its run's *signature* — the whole bucketed
+feature combination — is one no earlier entry produced: the AFL
+admission rule, at combination granularity, so the corpus holds one
+exemplar per distinct behavior rather than an archive of every run.
+Mutation needs that breadth (each admitted behavior is a launch point);
+:meth:`Corpus.minimize` is the compact view, cutting back to a greedy
+set cover over individual features.
+
+Scheduling is energy-weighted: entries whose features are *rare* across
+the corpus (few other entries touch them) and that have been mutated
+*less often* get proportionally more mutation energy.  Minimization is
+the classic greedy set cover over features.  Persistence is canonical
+JSON — sorted keys, entries in insertion order — so saving and loading
+a corpus is byte-stable and campaign reports stay deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Dict, List, Optional, Tuple
+
+from .signature import signature_features, signature_key
+
+__all__ = ["Corpus", "CorpusEntry"]
+
+#: Bumped when the on-disk layout changes incompatibly.
+CORPUS_FORMAT = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One signature-novel spec and its bookkeeping."""
+
+    key: str  #: signature key of the run that earned the slot
+    spec: Dict[str, Any]  #: ``ScenarioSpec.to_dict()`` payload
+    features: Tuple[str, ...]
+    origin: str  #: ``"seed:<n>"`` or ``"mutant:<index>/<operator>"``
+    ok: bool  #: whether every oracle passed (failures stay replayable)
+    executions: int = 0  #: events processed by the run (cost proxy)
+    chosen: int = 0  #: times picked as a mutation base
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "spec": self.spec,
+            "features": list(self.features),
+            "origin": self.origin,
+            "ok": self.ok,
+            "executions": self.executions,
+            "chosen": self.chosen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CorpusEntry":
+        return cls(
+            key=data["key"],
+            spec=dict(data["spec"]),
+            features=tuple(data["features"]),
+            origin=data["origin"],
+            ok=bool(data["ok"]),
+            executions=int(data.get("executions", 0)),
+            chosen=int(data.get("chosen", 0)),
+        )
+
+
+@dataclass
+class Corpus:
+    """An ordered set of signature-novel entries."""
+
+    entries: List[CorpusEntry] = field(default_factory=list)
+    #: How many entries cover each feature (rarity for energy weighting).
+    feature_counts: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def consider(
+        self,
+        spec_dict: Dict[str, Any],
+        coverage: Dict[str, Any],
+        origin: str,
+        ok: bool,
+        executions: int = 0,
+    ) -> Optional[CorpusEntry]:
+        """Admit the spec if its run's signature is novel.
+
+        Returns the new entry, or ``None`` when some earlier entry
+        already produced the exact same signature (the run taught us
+        nothing the corpus does not already encode).
+        """
+        features = signature_features(coverage)
+        key = signature_key(features)
+        if any(entry.key == key for entry in self.entries):
+            return None
+        entry = CorpusEntry(
+            key=key,
+            spec=dict(spec_dict),
+            features=features,
+            origin=origin,
+            ok=ok,
+            executions=executions,
+        )
+        self.entries.append(entry)
+        for feature in features:
+            self.feature_counts[feature] = self.feature_counts.get(feature, 0) + 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Energy-weighted scheduling
+    # ------------------------------------------------------------------
+
+    def energy(self, entry: CorpusEntry) -> float:
+        """Mutation energy: feature rarity, decayed by prior selections."""
+        rarity = sum(
+            1.0 / self.feature_counts.get(feature, 1)
+            for feature in entry.features
+        )
+        return (1.0 + rarity) / (1.0 + entry.chosen)
+
+    def choose(self, rng: Random) -> CorpusEntry:
+        """Pick a mutation base, weighted by energy (deterministic in rng)."""
+        if not self.entries:
+            raise ValueError("cannot choose from an empty corpus")
+        weights = [self.energy(entry) for entry in self.entries]
+        total = sum(weights)
+        point = rng.random() * total
+        cumulative = 0.0
+        for entry, weight in zip(self.entries, weights):
+            cumulative += weight
+            if point <= cumulative:
+                entry.chosen += 1
+                return entry
+        entry = self.entries[-1]
+        entry.chosen += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Minimization
+    # ------------------------------------------------------------------
+
+    def minimize(self) -> "Corpus":
+        """Greedy set cover: the smallest entry subset (greedily) that
+        still covers every feature the corpus covers.
+
+        Deterministic: candidates are ranked by uncovered-feature gain,
+        ties broken by insertion order.  Failing entries are always kept
+        — they are reproducers, not just coverage.
+        """
+        uncovered = set(self.feature_counts)
+        kept: List[CorpusEntry] = []
+        for entry in self.entries:
+            if not entry.ok:
+                kept.append(entry)
+                uncovered -= set(entry.features)
+        remaining = [entry for entry in self.entries if entry.ok]
+        while uncovered:
+            best = None
+            best_gain = 0
+            for entry in remaining:
+                gain = len(uncovered & set(entry.features))
+                if gain > best_gain:
+                    best, best_gain = entry, gain
+            if best is None:
+                break
+            kept.append(best)
+            remaining.remove(best)
+            uncovered -= set(best.features)
+        kept.sort(key=lambda e: self.entries.index(e))
+        reduced = Corpus()
+        for entry in kept:
+            reduced.entries.append(entry)
+            for feature in entry.features:
+                reduced.feature_counts[feature] = (
+                    reduced.feature_counts.get(feature, 0) + 1
+                )
+        return reduced
+
+    # ------------------------------------------------------------------
+    # Stats + persistence
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        by_protocol: Dict[str, int] = {}
+        for entry in self.entries:
+            protocol = str(entry.spec.get("protocol", "?"))
+            by_protocol[protocol] = by_protocol.get(protocol, 0) + 1
+        return {
+            "entries": len(self.entries),
+            "features": len(self.feature_counts),
+            "failing": sum(1 for entry in self.entries if not entry.ok),
+            "by_protocol": dict(sorted(by_protocol.items())),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": CORPUS_FORMAT,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Corpus":
+        corpus = cls()
+        for payload in data.get("entries", ()):
+            entry = CorpusEntry.from_dict(payload)
+            corpus.entries.append(entry)
+            for feature in entry.features:
+                corpus.feature_counts[feature] = (
+                    corpus.feature_counts.get(feature, 0) + 1
+                )
+        return corpus
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Corpus":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

@@ -1,0 +1,123 @@
+"""Execution-coverage signatures: bucketed features + a stable key.
+
+A signature is a sorted tuple of short feature strings derived from the
+coverage facts a run produced (:mod:`repro.scenarios.coverage`).  Two
+runs with the same signature exercised the protocol the same way at the
+granularity the fuzzer cares about: same path, same view spread, same
+fault shapes, same oracle outcomes, same near-miss margins — with
+message counts and margins *bucketed* so that noise (one more ack, a
+slightly different decision time) does not make every run look novel.
+
+The bucketing is the AFL trick: coarse enough that the corpus stays
+small, fine enough that a genuinely new behavior (a view change, a
+slow-path fallback, a tally one vote short of quorum) flips at least one
+feature and earns its seed a corpus slot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["signature_features", "signature_key"]
+
+
+def _count_bucket(count: int) -> str:
+    """Power-of-four bucket for event counts (AFL-style hit counts).
+
+    Coarser than AFL's powers of two on purpose: simulated runs are
+    noise-free, so neighboring counts differ for boring reasons (one
+    more replica, one more client request) and a fine bucket would make
+    every run look novel — drowning the corpus in redundant entries.
+    """
+    if count <= 0:
+        return "0"
+    bucket = 1
+    while bucket * 4 <= count and bucket < 1024:
+        bucket *= 4
+    return str(bucket) if bucket < 1024 else "1024+"
+
+
+def _partition_features(shapes) -> List[str]:
+    """Bucket partition shapes to what the protocol can feel.
+
+    A shape string like ``"2|3"`` (sorted group sizes) carries the raw
+    sizes, which vary freely with ``n`` — pure input entropy.  What
+    changes protocol behavior is the *kind* of split (how many islands);
+    whether the split actually hurt shows up in the behavioral features
+    it causes (views moved, slow path, liveness margin), not the shape.
+    """
+    return sorted({
+        f"part:{len(str(shape).split('|'))}way" for shape in shapes
+    })
+
+
+def _small_bucket(value: int, cap: int = 5) -> str:
+    """Exact small integers, saturating at ``cap``."""
+    if value >= cap:
+        return f"{cap}+"
+    return str(value)
+
+
+def _margin_bucket(name: str, margin: float) -> str:
+    """Coarse margin buckets, per oracle family.
+
+    Quorum shortfalls and step margins are small integers and stay
+    exact (clamped); the liveness slack fraction is bucketed into
+    deciles.  Either way a run that moves *closer* to the edge lands in
+    a different bucket and reads as novel coverage.
+    """
+    if name == "liveness-after-gst":
+        quintile = int(max(0.0, min(0.999, margin)) * 5)
+        return f"q{quintile}"
+    if margin < 0:
+        return "-"
+    return _small_bucket(int(margin), cap=2)
+
+
+def signature_features(coverage: Dict[str, Any]) -> Tuple[str, ...]:
+    """The sorted, deduplicated feature set of one run's coverage dict.
+
+    Deliberately *behavioral*: features describe what the execution did
+    (path taken, views reached, partition shapes lived through,
+    checkpoint/catchup activity, which message types flowed, oracle
+    outcomes and margins) — not how the spec was parameterized.  Spec
+    shape (``n``/``f``/delay kind/fault counts) stays out, and message
+    *volumes* stay out too (they track cluster size and run length, not
+    behavior): counting input diversity would reward a blind generator
+    for varying knobs that change nothing about the run, exactly the
+    redundancy coverage guidance exists to skip.  Message *presence* is
+    what matters — a ``PBFTViewChange`` or ``CatchupRequest`` showing up
+    at all is a protocol phase the run reached.
+    """
+    features: List[str] = [
+        f"proto:{coverage['protocol']}",
+        f"path:{coverage['path']}",
+        f"steps:{_small_bucket(int(coverage['steps'] or 0), cap=6)}",
+    ]
+    views = [int(v) for v in coverage.get("views", ())]
+    features.append(f"views:max:{_small_bucket(max(views, default=1), cap=3)}")
+    moved = sum(1 for view in views if view > 1)
+    features.append(f"views:moved:{_small_bucket(moved, cap=2)}")
+    features.extend(_partition_features(coverage.get("partitions", ())))
+    checkpoint = int(coverage.get("checkpoint_slot", -1))
+    if checkpoint >= 0:
+        features.append(f"ckpt:{_count_bucket(checkpoint + 1)}")
+    catchup = int(coverage.get("catchup_msgs", 0))
+    if catchup:
+        features.append(f"catchup:{_count_bucket(catchup)}")
+    for msg_type, count in sorted(coverage.get("msgs", {}).items()):
+        if int(count) > 0:
+            features.append(f"msg:{msg_type}")
+    for oracle, status in sorted(coverage.get("oracles", {}).items()):
+        features.append(f"oracle:{oracle}:{status}")
+    for oracle, margin in sorted(coverage.get("margins", {}).items()):
+        features.append(f"margin:{oracle}:{_margin_bucket(oracle, float(margin))}")
+    return tuple(sorted(set(features)))
+
+
+def signature_key(features: Tuple[str, ...]) -> str:
+    """A stable SHA-256 key over a feature set (order-insensitive)."""
+    canonical = json.dumps(sorted(features), separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

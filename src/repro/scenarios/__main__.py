@@ -6,6 +6,7 @@ Usage::
     python -m repro.scenarios run fast-path-clean
     python -m repro.scenarios run --all [--json] [--metrics-out FILE] [--trace-out FILE]
     python -m repro.scenarios fuzz --seeds 25 [--start 0] [--protocols fbft,pbft]
+        [--json [FILE]] [--max-seconds 60]
     python -m repro.scenarios digest [--check PATH | --update PATH]
 
 Exit status is 0 when every invariant oracle passed, 1 otherwise — so the
@@ -114,13 +115,17 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         protocols=protocols,
         shrink=not args.no_shrink,
         on_progress=progress,
+        max_seconds=args.max_seconds,
     )
-    if args.json:
-        print(json.dumps({
-            "seeds_run": report.seeds_run,
-            "by_protocol": report.by_protocol,
-            "failures": [failure.to_dict() for failure in report.failures],
-        }, indent=2))
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote fuzz report to {args.json}")
+            print(report.summary())
+        else:
+            print(payload)
     else:
         print(report.summary())
     return 0 if report.ok else 1
@@ -212,7 +217,14 @@ def main(argv: List[str] | None = None) -> int:
                              help="skip shrinking failing seeds")
     fuzz_parser.add_argument("--quiet", action="store_true",
                              help="no per-seed progress lines")
-    fuzz_parser.add_argument("--json", action="store_true", help="machine-readable output")
+    fuzz_parser.add_argument(
+        "--json", nargs="?", const="", default=None, metavar="FILE",
+        help="machine-readable output (to FILE when given, else stdout)",
+    )
+    fuzz_parser.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="wall-clock budget; the report records which limit fired",
+    )
 
     digest_parser = sub.add_parser(
         "digest", help="run every canonical scenario twice and report trace digests"

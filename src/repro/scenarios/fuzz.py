@@ -81,7 +81,12 @@ def generate_scenario(
         )
 
     pids = list(range(n))
-    budget = f
+    # FaB's only decide path needs n - t acceptances, so a schedule that
+    # permanently downs more than t replicas can never decide — a
+    # liveness "failure" the protocol never claimed to survive.  Every
+    # other family has a slow path (or majority quorum) live under f
+    # faults, so f is the right survivability budget there.
+    budget = t if protocol == "fab" else f
     byzantine: List[ByzantineRole] = []
     faults: List[FaultEvent] = []
     used: set = set()
@@ -292,17 +297,27 @@ class FuzzReport:
     seeds_run: int
     by_protocol: Dict[str, int] = field(default_factory=dict)
     failures: List[FuzzFailure] = field(default_factory=list)
+    stopped_by: str = "seeds"  #: ``"seeds"`` or ``"max-seconds"``
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def to_dict(self) -> Dict:
+        return {
+            "seeds_run": self.seeds_run,
+            "by_protocol": dict(sorted(self.by_protocol.items())),
+            "stopped_by": self.stopped_by,
+            "ok": self.ok,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
 
     def summary(self) -> str:
         mix = ", ".join(
             f"{key}: {count}" for key, count in sorted(self.by_protocol.items())
         )
         lines = [
-            f"fuzz: {self.seeds_run} seeds ({mix}) — "
+            f"fuzz: {self.seeds_run} seeds ({mix}; {self.stopped_by} limit) — "
             f"{'all oracles passed' if self.ok else f'{len(self.failures)} FAILURES'}"
         ]
         for failure in self.failures:
@@ -324,10 +339,29 @@ def run_fuzz(
     shrink: bool = True,
     run: Callable[[ScenarioSpec], ScenarioResult] = run_scenario,
     on_progress: Optional[Callable[[int, ScenarioResult], None]] = None,
+    max_seconds: Optional[float] = None,
+    clock: Optional[Callable[[], float]] = None,
 ) -> FuzzReport:
-    """Run ``seeds`` consecutive seeds starting at ``start``."""
-    report = FuzzReport(seeds_run=seeds)
+    """Run ``seeds`` consecutive seeds starting at ``start``.
+
+    ``max_seconds`` adds a wall-clock budget on top of the seed budget:
+    the loop stops before the next seed once the elapsed time exceeds
+    it, and the report's ``stopped_by``/``seeds_run`` record which limit
+    fired and how far the sweep actually got.  ``clock`` is injectable
+    for tests; by default the wall clock is imported lazily so the
+    deterministic path stays free of real-time reads.
+    """
+    report = FuzzReport(seeds_run=0)
+    started_at = None
+    if max_seconds is not None:
+        if clock is None:
+            from ..fuzz.clock import wall_clock as clock
+        started_at = clock()
     for seed in range(start, start + seeds):
+        if started_at is not None and clock() - started_at >= max_seconds:
+            report.stopped_by = "max-seconds"
+            break
+        report.seeds_run += 1
         spec = generate_scenario(seed, protocols=protocols)
         report.by_protocol[spec.protocol] = (
             report.by_protocol.get(spec.protocol, 0) + 1

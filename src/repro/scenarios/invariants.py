@@ -58,11 +58,22 @@ def durable_rejoin_sets(spec: ScenarioSpec, built: BuiltScenario):
 
 @dataclass(frozen=True)
 class InvariantVerdict:
-    """One oracle's judgement of one run."""
+    """One oracle's judgement of one run.
+
+    ``margin`` is a graded "distance to violation" where the oracle can
+    measure one (votes short of a quorum, slack to the liveness timeout,
+    message delays under the fast-path claim, demotions below the
+    flapping bound).  Positive margins mean head-room, zero or negative
+    means at-or-past the edge; ``None`` means the oracle has no graded
+    signal for this run.  The coverage-guided fuzzer uses margins to
+    steer schedules toward the edge of the safety envelope instead of
+    seeing only a pass/fail bit.
+    """
 
     name: str
     passed: Optional[bool]  # None = not applicable
     detail: str = ""
+    margin: Optional[float] = None
 
     @property
     def failed(self) -> bool:
@@ -87,6 +98,60 @@ def decisions_of(cluster: Cluster, pids) -> Dict[int, Any]:
 # The oracles
 # ----------------------------------------------------------------------
 
+#: Payload types whose tallies race toward a named quorum threshold on
+#: the protocol's config object.  Used for the agreement near-miss
+#: margin: the closest any *incomplete* tally came to its quorum.
+_QUORUM_ATTRS = {
+    "Ack": "fast_quorum",
+    "Vote": "vote_quorum",
+    "Commit": "commit_quorum",
+    "Prepare": "prepare_quorum",
+    "PBFTCommit": "commit_quorum",
+    "FabAccept": "fast_quorum",
+    "PaxosAccepted": "majority",
+    "OptAck": "fast_quorum",
+}
+
+
+def _quorum_shortfall(built: BuiltScenario, cluster: Cluster) -> Optional[float]:
+    """Votes-short-of-quorum for the closest incomplete tally.
+
+    Scans the trace for quorum-bound payloads (acks, votes, commits),
+    tallies distinct senders per ``(type, view, value)``, and returns the
+    smallest shortfall among tallies that never reached their quorum —
+    the graded "one more equivocation and this would have been a second
+    decision" signal.  ``None`` when every tally completed (or none
+    exists): the run never approached the edge.
+    """
+    config = built.config
+    if config is None:
+        return None
+    tallies: Dict[Tuple[str, Any, str], Tuple[set, int]] = {}
+    for envelope in cluster.trace.sends:
+        payload = envelope.payload
+        attr = _QUORUM_ATTRS.get(type(payload).__name__)
+        if attr is None:
+            continue
+        threshold = getattr(config, attr, None)
+        if threshold is None:
+            continue
+        view = getattr(payload, "view", None)
+        if view is None:
+            view = getattr(payload, "ballot", None)
+        if view is None:
+            continue
+        key = (type(payload).__name__, view, repr(getattr(payload, "value", None)))
+        senders, _ = tallies.setdefault(key, (set(), threshold))
+        senders.add(envelope.src)
+    shortfalls = [
+        threshold - len(senders)
+        for senders, threshold in tallies.values()
+        if len(senders) < threshold
+    ]
+    if not shortfalls:
+        return None
+    return float(min(shortfalls))
+
 
 def check_agreement(
     spec: ScenarioSpec,
@@ -103,10 +168,12 @@ def check_agreement(
     values = set(decided.values())
     if len(values) > 1:
         return InvariantVerdict(
-            "agreement", False, f"honest processes decided {decided!r}"
+            "agreement", False, f"honest processes decided {decided!r}",
+            margin=0.0,
         )
     return InvariantVerdict(
-        "agreement", True, f"{len(decided)} honest decisions, all equal"
+        "agreement", True, f"{len(decided)} honest decisions, all equal",
+        margin=_quorum_shortfall(built, cluster),
     )
 
 
@@ -278,9 +345,11 @@ def check_fast_path(
         return InvariantVerdict(
             "fast-path-steps", False,
             f"decision took {steps} message delays, claimed {claimed}",
+            margin=float(claimed - steps),
         )
     return InvariantVerdict(
-        "fast-path-steps", True, f"{steps} message delays <= claimed {claimed}"
+        "fast-path-steps", True, f"{steps} message delays <= claimed {claimed}",
+        margin=float(claimed - steps),
     )
 
 
@@ -322,17 +391,25 @@ def check_liveness(
         return InvariantVerdict(
             "liveness-after-gst", False,
             f"pids {missing} undecided at timeout {spec.timeout}",
+            margin=0.0,
         )
     deadline = spec.liveness_deadline
     if deadline is not None and decision_time is not None and decision_time > deadline:
         return InvariantVerdict(
             "liveness-after-gst", False,
             f"decided at {decision_time}, after the deadline {deadline}",
+            margin=0.0,
         )
     detail = f"all live pids decided by {decision_time}"
     if deadline is not None:
         detail += f" (deadline {deadline})"
-    return InvariantVerdict("liveness-after-gst", True, detail)
+    # Slack to the timeout as a fraction of the budget: 1.0 = decided
+    # instantly, 0.0 = at the wire — the fuzzer's pull toward schedules
+    # that nearly exhaust the liveness budget.
+    margin = None
+    if decision_time is not None and spec.timeout > 0:
+        margin = round(max(0.0, 1.0 - decision_time / spec.timeout), 4)
+    return InvariantVerdict("liveness-after-gst", True, detail, margin=margin)
 
 
 def check_leader_rotation(
@@ -357,10 +434,14 @@ def check_leader_rotation(
         return InvariantVerdict(name, None, "monitor not enabled by spec")
     expect = bool(spec.protocol_options.get("monitor_expect_rotation", False))
     demotions = {r.pid: r.leader_monitor.demotions for r in monitored}
+    # Demotions below the flapping bound: 2 = never rotated, 0 = at the
+    # oscillation edge, negative = oscillating.
+    rotation_margin = float(2 - max(demotions.values(), default=0))
     flapping = {pid: count for pid, count in demotions.items() if count > 2}
     if flapping:
         return InvariantVerdict(
-            name, False, f"leader rotation oscillated: {flapping!r} demotions"
+            name, False, f"leader rotation oscillated: {flapping!r} demotions",
+            margin=rotation_margin,
         )
     total = sum(demotions.values())
     if expect and total == 0:
@@ -379,9 +460,11 @@ def check_leader_rotation(
             name, True,
             f"slow leader demoted; view floors {floors}, "
             f"{total} demotion(s) across {len(monitored)} replicas",
+            margin=rotation_margin,
         )
     return InvariantVerdict(
-        name, True, f"no spurious demotions across {len(monitored)} replicas"
+        name, True, f"no spurious demotions across {len(monitored)} replicas",
+        margin=rotation_margin,
     )
 
 

@@ -17,6 +17,7 @@ from ..sim.network import DelayRule
 from ..sim.runner import Cluster
 from ..sim.trace import ConsistencyViolation, message_delays
 from .adapters import ADAPTERS, BuiltScenario
+from .coverage import collect_coverage
 from .invariants import (
     InvariantVerdict,
     decisions_of,
@@ -65,6 +66,10 @@ class ScenarioResult:
     #: Observability snapshot (registry + per-replica monitor stats); empty
     #: unless a :class:`~repro.obs.metrics.MetricsRegistry` was passed in.
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Execution-coverage facts (views reached, path taken, fault shapes,
+    #: oracle margins) — the raw material for the coverage-guided
+    #: fuzzer's signatures; see :mod:`repro.scenarios.coverage`.
+    coverage: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -96,8 +101,14 @@ class ScenarioResult:
             "total_requests": self.total_requests,
             "trace_digest": self.trace_digest,
             "metrics": self.metrics,
+            "coverage": self.coverage,
             "invariants": [
-                {"name": v.name, "passed": v.passed, "detail": v.detail}
+                {
+                    "name": v.name,
+                    "passed": v.passed,
+                    "detail": v.detail,
+                    "margin": v.margin,
+                }
                 for v in self.verdicts
             ],
         }
@@ -283,6 +294,10 @@ def run_scenario(
     verdicts = evaluate_invariants(
         spec, built, cluster, decided, decision_time, safety_violation
     )
+    messages_by_type = cluster.trace.messages_by_type()
+    coverage = collect_coverage(
+        spec, built, decided, steps, messages_by_type, verdicts
+    )
     stats = cluster.network.stats
     completed = sum(c.completed_count for c in built.clients)
     total = spec.workload.total_requests if spec.workload is not None else 0
@@ -310,7 +325,7 @@ def run_scenario(
         messages_sent=stats.messages_sent,
         messages_delivered=stats.messages_delivered,
         bytes_sent=stats.bytes_sent,
-        messages_by_type=cluster.trace.messages_by_type(),
+        messages_by_type=messages_by_type,
         events_processed=cluster.sim.events_processed,
         safety_violation=safety_violation,
         verdicts=verdicts,
@@ -319,4 +334,5 @@ def run_scenario(
         applied_slots=applied,
         trace_digest=cluster_digest(cluster),
         metrics=snapshot,
+        coverage=coverage,
     )

@@ -1,0 +1,422 @@
+"""Coverage-guided fuzzing: signatures, corpus, mutators, campaigns.
+
+The load-bearing claims:
+
+* signatures are deterministic, behavioral (spec knobs that change
+  nothing about the run do not appear), and bucketed so noise is not
+  novelty;
+* the corpus admits exactly one exemplar per signature, schedules by
+  energy, minimizes to a feature set cover, and round-trips through
+  canonical JSON byte-for-byte;
+* mutants are always structurally valid, survivable (fault budgets
+  respected, pairs kept together) and claim-free;
+* campaigns are deterministic — same corpus + seed + budget gives a
+  byte-identical report digest, serial or sharded — and the guided arm
+  discovers strictly more unique signatures than the blind arm at an
+  equal seed budget (the acceptance claim).
+"""
+
+import json
+
+from random import Random
+
+import pytest
+
+from repro.fuzz import (
+    CampaignConfig,
+    Corpus,
+    MUTATORS,
+    PAYLOAD_TYPES,
+    mutate,
+    run_blind,
+    run_campaign,
+    signature_features,
+    signature_key,
+)
+from repro.fuzz.cli import main as fuzz_main
+from repro.fuzz.signature import _count_bucket, _margin_bucket, _small_bucket
+from repro.scenarios import run_scenario
+from repro.scenarios.fuzz import generate_scenario
+from repro.scenarios.spec import (
+    Crash,
+    DelayRuleOff,
+    DelayRuleOn,
+    PartitionHeal,
+    PartitionStart,
+    Recover,
+    ScenarioSpec,
+)
+
+
+def _coverage(seed: int):
+    return run_scenario(generate_scenario(seed)).coverage
+
+
+# ---------------------------------------------------------------------------
+# Signatures
+# ---------------------------------------------------------------------------
+
+
+class TestSignature:
+    def test_deterministic_across_runs(self):
+        first = signature_features(_coverage(3))
+        second = signature_features(_coverage(3))
+        assert first == second
+        assert signature_key(first) == signature_key(second)
+
+    def test_key_is_order_insensitive_sha256(self):
+        features = ("b:2", "a:1")
+        assert signature_key(features) == signature_key(("a:1", "b:2"))
+        assert len(signature_key(features)) == 64
+
+    def test_count_buckets_power_of_four(self):
+        assert _count_bucket(0) == "0"
+        assert _count_bucket(3) == "1"
+        assert _count_bucket(4) == "4"
+        assert _count_bucket(63) == "16"
+        assert _count_bucket(64) == "64"
+        assert _count_bucket(10**6) == "1024+"
+
+    def test_small_bucket_saturates(self):
+        assert _small_bucket(0) == "0"
+        assert _small_bucket(4) == "4"
+        assert _small_bucket(9) == "5+"
+        assert _small_bucket(3, cap=2) == "2+"
+
+    def test_margin_buckets(self):
+        assert _margin_bucket("liveness-after-gst", 0.96) == "q4"
+        assert _margin_bucket("liveness-after-gst", 0.05) == "q0"
+        assert _margin_bucket("agreement", -2.0) == "-"
+        assert _margin_bucket("agreement", 1.0) == "1"
+        assert _margin_bucket("agreement", 7.0) == "2+"
+
+    def test_features_are_behavioral_not_spec_shape(self):
+        """n/f/t and delay kind never appear: varying inert knobs must
+        not read as new coverage."""
+        features = signature_features(_coverage(0))
+        for feature in features:
+            assert not feature.startswith(("shape:", "n:", "f:", "delay:"))
+        assert any(feature.startswith("proto:") for feature in features)
+        assert any(feature.startswith("path:") for feature in features)
+        assert any(feature.startswith("oracle:") for feature in features)
+
+    def test_message_features_are_presence_only(self):
+        coverage = _coverage(1)
+        assert coverage["msgs"], "expected message traffic"
+        features = signature_features(coverage)
+        msg_features = [f for f in features if f.startswith("msg:")]
+        assert msg_features
+        for feature in msg_features:
+            assert feature.count(":") == 1, f"volume leaked into {feature}"
+
+    def test_partition_features_bucket_to_way_count(self):
+        coverage = dict(_coverage(0))
+        coverage["partitions"] = ["1|2|4", "3|4"]
+        features = signature_features(coverage)
+        assert "part:3way" in features
+        assert "part:2way" in features
+        assert not any("|" in f for f in features if f.startswith("part:"))
+
+
+# ---------------------------------------------------------------------------
+# Corpus
+# ---------------------------------------------------------------------------
+
+
+def _grown_corpus(seeds=8):
+    corpus = Corpus()
+    for seed in range(seeds):
+        spec = generate_scenario(seed)
+        result = run_scenario(spec)
+        corpus.consider(
+            spec.to_dict(), result.coverage, origin=f"seed:{seed}",
+            ok=result.ok, executions=result.events_processed,
+        )
+    return corpus
+
+
+class TestCorpus:
+    def test_admission_is_per_signature(self):
+        corpus = Corpus()
+        spec = generate_scenario(0)
+        coverage = run_scenario(spec).coverage
+        first = corpus.consider(spec.to_dict(), coverage, "seed:0", True)
+        duplicate = corpus.consider(spec.to_dict(), coverage, "seed:0b", True)
+        assert first is not None
+        assert duplicate is None
+        assert len(corpus.entries) == 1
+
+    def test_energy_rewards_rare_features_and_decays(self):
+        corpus = _grown_corpus()
+        entry = corpus.entries[0]
+        fresh = corpus.energy(entry)
+        entry.chosen = 5
+        assert corpus.energy(entry) < fresh
+
+    def test_choose_is_deterministic_in_rng(self):
+        picks_a = [e.key for e in _choose_many(_grown_corpus(), 11)]
+        picks_b = [e.key for e in _choose_many(_grown_corpus(), 11)]
+        assert picks_a == picks_b
+
+    def test_minimize_preserves_features_and_failures(self):
+        corpus = _grown_corpus()
+        corpus.entries[2].ok = False  # pretend one entry is a reproducer
+        reduced = corpus.minimize()
+        assert set(reduced.feature_counts) == set(corpus.feature_counts)
+        assert len(reduced.entries) <= len(corpus.entries)
+        assert any(not entry.ok for entry in reduced.entries)
+
+    def test_json_round_trip_is_byte_stable(self, tmp_path):
+        corpus = _grown_corpus()
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        corpus.save(str(path_a))
+        Corpus.load(str(path_a)).save(str(path_b))
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_stats_shape(self):
+        stats = _grown_corpus().stats()
+        assert set(stats) == {"entries", "features", "failing", "by_protocol"}
+        assert stats["entries"] == sum(stats["by_protocol"].values())
+
+
+def _choose_many(corpus, count):
+    rng = Random("choose")
+    return [corpus.choose(rng) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Mutators
+# ---------------------------------------------------------------------------
+
+
+class TestMutators:
+    def test_mutants_validate_and_drop_latency_claims(self):
+        corpus = _grown_corpus()
+        rng = Random("mutants")
+        produced = 0
+        for entry in corpus.entries:
+            base = ScenarioSpec.from_dict(entry.spec)
+            mutant = mutate(base, rng, corpus, name="m")
+            if mutant is None:
+                continue
+            produced += 1
+            spec, op_names = mutant
+            spec.validate()  # budget + structure, the final arbiter
+            assert spec.expect_fast_path is False
+            assert spec.liveness_deadline is None
+            assert spec.timeout >= 3000.0
+            assert all(
+                name in dict(MUTATORS) for name in op_names.split("+")
+            )
+        assert produced >= len(corpus.entries) // 2
+
+    def test_matched_pairs_stay_matched(self):
+        """Dropping elements never strands a closer: every rule that
+        turns on turns off, every partition heals."""
+        corpus = _grown_corpus()
+        rng = Random("pairs")
+        for entry in corpus.entries:
+            base = ScenarioSpec.from_dict(entry.spec)
+            for _ in range(6):
+                mutant = mutate(base, rng, corpus, name="m")
+                if mutant is None:
+                    continue
+                spec, _ = mutant
+                on = [e for e in spec.faults if isinstance(e, DelayRuleOn)]
+                off = [e for e in spec.faults if isinstance(e, DelayRuleOff)]
+                assert {rule.name for rule in on} == {rule.name for rule in off}
+                starts = [e for e in spec.faults if isinstance(e, PartitionStart)]
+                heals = [e for e in spec.faults if isinstance(e, PartitionHeal)]
+                assert len(starts) == len(heals)
+                crash_pids = {e.pid for e in spec.faults if isinstance(e, Crash)}
+                recover_pids = {
+                    e.pid for e in spec.faults if isinstance(e, Recover)
+                }
+                assert recover_pids <= crash_pids
+
+    def test_fab_crash_budget_is_t(self):
+        """FaB can only ever decide with n - t acceptances, so mutants
+        must not permanently down more than t replicas."""
+        from repro.fuzz.mutators import op_add_crash
+
+        spec = None
+        for seed in range(200):
+            candidate = generate_scenario(seed)
+            if candidate.protocol == "fab" and len(candidate.faulty_pids) >= candidate.t:
+                spec = candidate
+                break
+        assert spec is not None, "no saturated fab spec in seed range"
+        assert op_add_crash(spec, Random(1), None) is None
+
+    def test_stasher_payload_types_match_protocol(self):
+        rng = Random("stash")
+        from repro.fuzz.mutators import op_add_stasher
+
+        for seed in range(6):
+            spec = generate_scenario(seed)
+            mutant = op_add_stasher(spec, rng, None)
+            assert mutant is not None
+            stashers = [
+                e for e in mutant.faults
+                if isinstance(e, DelayRuleOn) and e.payload_types
+            ]
+            assert stashers
+            for rule in stashers:
+                for payload in rule.payload_types:
+                    assert payload in PAYLOAD_TYPES[spec.protocol]
+
+    def test_splice_requires_same_shape_donor(self):
+        from repro.fuzz.mutators import op_splice
+
+        corpus = Corpus()
+        spec = generate_scenario(0)
+        other = None
+        for seed in range(1, 100):
+            candidate = generate_scenario(seed)
+            shape = (candidate.protocol, candidate.n, candidate.f, candidate.t)
+            if shape != (spec.protocol, spec.n, spec.f, spec.t):
+                other = candidate
+                break
+        result = run_scenario(other)
+        corpus.consider(other.to_dict(), result.coverage, "seed:x", result.ok)
+        assert op_splice(spec, Random(2), corpus) is None
+
+
+# ---------------------------------------------------------------------------
+# Campaigns
+# ---------------------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_same_inputs_identical_digest(self):
+        a = run_campaign(CampaignConfig(budget=48))
+        b = run_campaign(CampaignConfig(budget=48))
+        assert a.digest == b.digest
+        assert a.to_dict() == b.to_dict()
+
+    def test_serial_equals_sharded(self):
+        serial = run_campaign(CampaignConfig(budget=48, shards=1))
+        sharded = run_campaign(CampaignConfig(budget=48, shards=2))
+        assert serial.digest == sharded.digest
+
+    def test_guided_beats_blind_at_equal_budget(self):
+        """THE acceptance claim: strictly more unique signatures."""
+        guided = run_campaign(CampaignConfig(budget=256, shrink=False))
+        blind = run_blind(256)
+        assert guided.executed == blind.executed == 256
+        assert guided.unique_signatures > blind.unique_signatures
+
+    def test_trajectory_is_monotone_and_complete(self):
+        report = run_campaign(CampaignConfig(budget=48, round_size=8))
+        assert len(report.trajectory) == 6
+        uniques = [row["unique_signatures"] for row in report.trajectory]
+        assert uniques == sorted(uniques)
+        assert report.trajectory[-1]["executed"] == 48
+        assert report.stopped_by == "budget"
+
+    def test_max_seconds_stops_at_round_boundary(self):
+        ticks = iter(range(100))
+        report = run_campaign(
+            CampaignConfig(budget=800, round_size=8, max_seconds=3.0),
+            clock=lambda: float(next(ticks)),
+        )
+        assert report.stopped_by == "max-seconds"
+        assert 0 < report.executed < 800
+        assert report.executed % 8 == 0
+        assert report.elapsed_seconds is not None
+
+    def test_failures_are_shrunk_with_injected_runner(self):
+        from repro.scenarios.invariants import InvariantVerdict
+
+        def failing_run(spec):
+            result = run_scenario(spec)
+            if spec.protocol == "paxos":
+                result.verdicts = (
+                    InvariantVerdict(
+                        name="synthetic", passed=False, detail="injected"
+                    ),
+                )
+            return result
+
+        report = run_campaign(
+            CampaignConfig(budget=12, shards=4), run=failing_run
+        )
+        assert not report.ok
+        for failure in report.failures:
+            assert failure.failures
+            reproducer = ScenarioSpec.from_dict(failure.shrunk)
+            assert reproducer.protocol == "paxos"
+            assert len(reproducer.faults) <= len(
+                ScenarioSpec.from_dict(failure.spec).faults
+            )
+
+    def test_corpus_grows_and_feeds_mutation(self):
+        corpus = Corpus()
+        report = run_campaign(
+            CampaignConfig(budget=96, warmup=16, fresh_fraction=0.1),
+            corpus=corpus,
+        )
+        assert corpus.entries
+        assert report.trajectory[-1]["mutants"] > 0
+        origins = {entry.origin.split(":")[0] for entry in corpus.entries}
+        assert "seed" in origins
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_campaign_writes_corpus_and_report(self, tmp_path, capsys):
+        corpus_path = tmp_path / "corpus.json"
+        report_path = tmp_path / "report.json"
+        code = fuzz_main([
+            "campaign", "--budget", "16", "--quiet",
+            "--corpus-out", str(corpus_path),
+            "--json", str(report_path),
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["executed"] == 16
+        assert report["digest"]
+        assert Corpus.load(str(corpus_path)).entries
+
+    def test_replay_by_key_prefix(self, tmp_path, capsys):
+        corpus_path = tmp_path / "corpus.json"
+        _grown_corpus(4).save(str(corpus_path))
+        key = Corpus.load(str(corpus_path)).entries[0].key
+        code = fuzz_main(["replay", key[:12], "--corpus", str(corpus_path)])
+        assert code == 0
+        assert "scenario" in capsys.readouterr().out
+
+    def test_replay_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(generate_scenario(1).to_dict()))
+        assert fuzz_main(["replay", "--spec", str(spec_path)]) == 0
+
+    def test_replay_ambiguous_prefix_fails(self, tmp_path, capsys):
+        corpus_path = tmp_path / "corpus.json"
+        _grown_corpus(6).save(str(corpus_path))
+        assert fuzz_main(["replay", "", "--corpus", str(corpus_path)]) == 2
+
+    def test_corpus_stats_and_minimize(self, tmp_path, capsys):
+        corpus_path = tmp_path / "corpus.json"
+        out_path = tmp_path / "mini.json"
+        _grown_corpus(6).save(str(corpus_path))
+        assert fuzz_main(["corpus", "stats", "--corpus", str(corpus_path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0
+        assert fuzz_main([
+            "corpus", "minimize", "--corpus", str(corpus_path),
+            "--out", str(out_path),
+        ]) == 0
+        reduced = Corpus.load(str(out_path))
+        original = Corpus.load(str(corpus_path))
+        assert set(reduced.feature_counts) == set(original.feature_counts)
+
+    def test_campaign_failure_exit_code(self, tmp_path):
+        # An impossible protocol name is a usage error, not a crash.
+        with pytest.raises(SystemExit):
+            fuzz_main(["campaign", "--budget", "-1", "--bogus"])

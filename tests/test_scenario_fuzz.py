@@ -68,6 +68,30 @@ class TestFuzzLoop:
         assert first.by_protocol == second.by_protocol
         assert first.ok == second.ok
 
+    def test_report_to_dict_is_json_ready(self):
+        import json
+
+        report = run_fuzz(seeds=4)
+        payload = report.to_dict()
+        assert set(payload) == {
+            "seeds_run", "by_protocol", "stopped_by", "ok", "failures",
+        }
+        assert payload["seeds_run"] == 4
+        assert payload["stopped_by"] == "seeds"
+        json.dumps(payload)  # must be serializable as-is
+
+    def test_max_seconds_stops_early_with_injected_clock(self):
+        ticks = iter(float(n) for n in range(100))
+        report = run_fuzz(seeds=50, max_seconds=5.0, clock=lambda: next(ticks))
+        assert report.stopped_by == "max-seconds"
+        assert 0 < report.seeds_run < 50
+        assert "max-seconds limit" in report.summary()
+
+    def test_generous_max_seconds_exhausts_seed_budget(self):
+        report = run_fuzz(seeds=5, max_seconds=1e9, clock=lambda: 0.0)
+        assert report.stopped_by == "seeds"
+        assert report.seeds_run == 5
+
     def test_failure_recorded_per_seed(self):
         """Substitute the known-unsafe configuration (relaxed fast quorum
         + equivocating leader + stalled acks) for every generated fbft
@@ -152,6 +176,65 @@ class TestShrinking:
     def test_shrink_is_noop_on_already_minimal_passing_predicate(self):
         spec = get_scenario("fast-path-clean")
         assert shrink_spec(spec, lambda s: False) == spec
+
+    def test_shrunk_output_never_strands_a_recover(self):
+        """Crash/recover ride together through shrinking: a Recover for a
+        pid that never crashed would be an invalid schedule, so every
+        intermediate candidate and the final result must keep the pair.
+        The predicate is synthetic ("the stall rule is the bug") so the
+        crash/recover pair is pure chaff the shrinker must drop whole."""
+        essential = DelayRuleOn(
+            at=0.0, name="stall", src=(1,), dst=(2,), extra_delay=5.0
+        )
+        noisy = get_scenario("fast-path-clean").with_(
+            name="crash-chaff",
+            faults=(
+                essential,
+                Crash(at=10.0, pid=1),
+                Recover(at=20.0, pid=1),
+            ),
+        )
+        assert any(isinstance(e, Crash) for e in noisy.faults)
+        noisy.validate()
+
+        def still_fails(spec):
+            crashed = {e.pid for e in spec.faults if isinstance(e, Crash)}
+            recovered = {e.pid for e in spec.faults if isinstance(e, Recover)}
+            assert recovered <= crashed, "shrink stranded a Recover"
+            return any(
+                isinstance(e, DelayRuleOn) and e.name == "stall"
+                for e in spec.faults
+            )
+
+        shrunk = shrink_spec(noisy, still_fails)
+        assert shrunk.faults == (essential,)
+
+    def test_shrink_terminates_within_attempt_budget(self):
+        """An always-failing predicate is the worst case for the loop:
+        every removal 'succeeds', so it must hit the fixed point (or the
+        attempt cap) rather than cycle."""
+        spec = generate_scenario(7)
+        calls = []
+        shrunk = shrink_spec(
+            spec, lambda s: calls.append(1) or True, max_attempts=10
+        )
+        assert len(calls) <= 10
+        shrunk.validate()
+
+    def test_shrink_is_idempotent(self):
+        noisy = get_scenario("equivocating-leader").with_(
+            name="bug",
+            faults=(
+                DelayRuleOn(at=0.0, name="stall", src=(1, 2), dst=(3,),
+                            payload_types=("Ack",), extra_delay=5.0),
+                DelayRuleOn(at=50.0, name="late", extra_delay=1.0),
+                DelayRuleOff(at=60.0, name="late"),
+            ),
+            protocol_options={"fast_quorum_delta": 1},
+        )
+        once = shrink_spec(noisy, lambda s: not run_scenario(s).ok)
+        twice = shrink_spec(once, lambda s: not run_scenario(s).ok)
+        assert once == twice
 
     def test_unknown_protocol_rejected_cleanly(self):
         from repro.scenarios import ScenarioError
