@@ -1,0 +1,254 @@
+"""E20 — accelerator grid: backend x workload wall-clock rates.
+
+The hot paths measured by E16 live behind ``repro._core``: a pure-Python
+reference backend plus an optional compiled one (``repro._core._accel``,
+built by ``python -m repro._core.build``), selected at import time via
+``REPRO_ACCEL``.  E20 measures what the two classes of optimization are
+worth, per workload:
+
+* the **pure-Python wins** shipped with the backend split (bounded
+  canonicalization memo, batched ``verify_all`` hashing, identity-keyed
+  payload sizing, prebound delivery) — the ``optimized``/``reference``
+  variant ratio, measured inside one backend;
+* the **compiled backend** — the same ``optimized`` cells re-measured
+  under ``REPRO_ACCEL=1``, giving the accel/pure backend ratio.
+
+The six workloads (broadcast storm, cert-retransmit broadcast, timer
+churn, SMR throughput, fuzz seeds/sec, quorum-cert verification) and
+their sizes
+live in ``repro.analysis.profiling``; the grid itself is the E20
+registry entry — this script only re-runs it per backend, combines the
+rows and asserts the headline ratios:
+
+* the pure-Python wins alone sustain **>= 1.3x on at least two
+  workloads** (measured entirely under ``REPRO_ACCEL=0``);
+* with the compiled backend built, the broadcast storm sustains
+  **>= 2x** the pure backend's events/sec.
+
+Results are written to ``BENCH_E20_accel.json``;
+``benchmarks/perf_gate.py`` compares that record against the committed
+trajectory in ``benchmarks/baselines/`` and fails CI on regression.
+
+Also runnable as a CI smoke check without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_e20_accel.py --quick
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from conftest import emit
+
+from repro import _core
+from repro.analysis import format_table
+from repro.analysis.profiling import write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The acceptance bars (see module docstring).
+PURE_WINS_FLOOR = 1.3
+PURE_WINS_MIN_WORKLOADS = 2
+STORM_BACKEND_FLOOR = 2.0
+
+#: Workloads whose reference variant actually disables an optimization.
+#: Timer churn touches neither crypto nor the network fast paths (its
+#: variant ratio is ~1.0 by design); the fresh-payload broadcast storm
+#: *pays* for the size memo (every payload is new, so probes never hit)
+#: and is excluded so the count reflects wins, not workload mix.
+PURE_WIN_WORKLOADS = (
+    "cert_broadcast",
+    "smr_throughput",
+    "fuzz_seeds",
+    "crypto_verify",
+)
+
+#: Re-runs the E20 registry grid in a subprocess pinned to one backend
+#: and prints the aggregated rows as JSON.  A subprocess is the only
+#: honest way to switch backends: the choice is made at import time.
+_GRID_SCRIPT = (
+    "import json, sys;"
+    "from repro.experiments import run_sections;"
+    "import repro._core as c;"
+    "rows = run_sections('E20', quick=(sys.argv[1] == 'quick'))['main'];"
+    "print(json.dumps({'backend': c.BACKEND, 'rows': rows}))"
+)
+
+
+def run_grid(accel: bool, quick: bool = False) -> dict:
+    """Run the full E20 grid under one backend; returns
+    ``{workload: {variant: rate}}`` plus the backend actually used."""
+    env = dict(os.environ)
+    env["REPRO_ACCEL"] = "1" if accel else "0"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-c", _GRID_SCRIPT, "quick" if quick else "full"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    if result.returncode != 0:
+        raise RuntimeError(f"E20 grid run failed:\n{result.stderr}")
+    payload = json.loads(result.stdout.splitlines()[-1])
+    rates: dict = {}
+    for workload, variant, backend, unit, rate in payload["rows"]:
+        assert backend == payload["backend"]
+        rates.setdefault(workload, {"unit": unit})[variant] = rate
+    return {"backend": payload["backend"], "rates": rates}
+
+
+def combine(pure: dict, accel) -> dict:
+    """Fold per-backend grid runs into the BENCH_E20 results dict."""
+    results = {}
+    for workload, cells in pure["rates"].items():
+        entry = {
+            "unit": cells["unit"],
+            "pure_reference": cells["reference"],
+            "pure_optimized": cells["optimized"],
+            "pure_wins_speedup": cells["optimized"] / cells["reference"],
+        }
+        if accel is not None:
+            acell = accel["rates"][workload]
+            entry["accel_optimized"] = acell["optimized"]
+            entry["backend_speedup"] = acell["optimized"] / cells["optimized"]
+        results[workload] = entry
+    return results
+
+
+def check_headline(results: dict, have_accel: bool) -> None:
+    winners = [
+        workload
+        for workload in PURE_WIN_WORKLOADS
+        if results[workload]["pure_wins_speedup"] >= PURE_WINS_FLOOR
+    ]
+    assert len(winners) >= PURE_WINS_MIN_WORKLOADS, (
+        f"pure-Python wins >= {PURE_WINS_FLOOR}x on only {winners} "
+        f"(need >= {PURE_WINS_MIN_WORKLOADS} workloads)"
+    )
+    if have_accel:
+        storm = results["broadcast_storm"]["backend_speedup"]
+        assert storm >= STORM_BACKEND_FLOOR, (
+            f"compiled backend sustains only {storm:.2f}x the pure "
+            f"backend on the broadcast storm (needs >= "
+            f"{STORM_BACKEND_FLOOR}x)"
+        )
+
+
+HEADERS = [
+    "workload", "unit", "pure ref", "pure opt", "pure wins", "accel opt",
+    "backend x",
+]
+
+
+def rows_of(results: dict) -> list:
+    rows = []
+    for workload, entry in results.items():
+        rows.append(
+            [
+                workload,
+                entry["unit"],
+                round(entry["pure_reference"]),
+                round(entry["pure_optimized"]),
+                f"{entry['pure_wins_speedup']:.2f}x",
+                round(entry["accel_optimized"])
+                if "accel_optimized" in entry
+                else "-",
+                f"{entry['backend_speedup']:.2f}x"
+                if "backend_speedup" in entry
+                else "-",
+            ]
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Pytest entry points
+# ---------------------------------------------------------------------------
+
+
+def test_e20_pure_python_wins():
+    """The guaranteed wins: measured entirely under REPRO_ACCEL=0."""
+    pure = run_grid(accel=False, quick=True)
+    assert pure["backend"] == "pure"
+    results = combine(pure, None)
+    emit(
+        "E20: pure-Python wins, optimized vs reference paths (quick)",
+        format_table(HEADERS, rows_of(results)),
+    )
+    check_headline(results, have_accel=False)
+
+
+@pytest.mark.skipif(
+    not _core.HAVE_ACCEL, reason="compiled backend not built"
+)
+def test_e20_compiled_backend_storm():
+    """The compiled backend's headline: >= 2x on the broadcast storm."""
+    pure = run_grid(accel=False, quick=True)
+    accel = run_grid(accel=True, quick=True)
+    assert accel["backend"] == "accel"
+    results = combine(pure, accel)
+    emit(
+        "E20: backend grid, pure vs compiled (quick)",
+        format_table(HEADERS, rows_of(results)),
+    )
+    check_headline(results, have_accel=True)
+
+
+# ---------------------------------------------------------------------------
+# Script mode
+# ---------------------------------------------------------------------------
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small workloads")
+    parser.add_argument(
+        "--output", default="BENCH_E20_accel.json",
+        help="where to write the perf-trajectory record ('' to skip)",
+    )
+    args = parser.parse_args(argv)
+
+    pure = run_grid(accel=False, quick=args.quick)
+    accel = None
+    if _core.HAVE_ACCEL:
+        accel = run_grid(accel=True, quick=args.quick)
+    else:
+        print("compiled backend not built: recording pure-backend rows only")
+    results = combine(pure, accel)
+    print("E20: accelerator grid, optimized vs reference / pure vs compiled")
+    print(format_table(HEADERS, rows_of(results)))
+    if args.output:
+        write_bench_json(
+            args.output,
+            "E20_accel",
+            results,
+            meta={"quick": args.quick, "have_accel": accel is not None},
+        )
+        print(f"\nwrote {args.output}")
+    check_headline(results, have_accel=accel is not None)
+    winners = sorted(
+        workload
+        for workload in PURE_WIN_WORKLOADS
+        if results[workload]["pure_wins_speedup"] >= PURE_WINS_FLOOR
+    )
+    print(
+        f"pure-Python wins >= {PURE_WINS_FLOOR}x on {winners}; "
+        + (
+            "compiled backend sustains "
+            f"{results['broadcast_storm']['backend_speedup']:.2f}x on the "
+            "broadcast storm"
+            if accel is not None
+            else "compiled backend not measured"
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

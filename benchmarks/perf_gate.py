@@ -1,0 +1,141 @@
+"""Perf-regression gate: BENCH_E20 ratios vs the committed trajectory.
+
+Wall-clock rates are machine-dependent, so the gate never compares them
+across machines.  What it *does* compare are the dimensionless ratios a
+``BENCH_E20_accel.json`` record carries per workload:
+
+* ``pure_wins_speedup``  — optimized/reference inside the pure backend
+  (the guaranteed pure-Python wins);
+* ``backend_speedup``    — compiled/pure on the optimized variant
+  (present only when the extension was built).
+
+Each current ratio must stay within a tolerance band of the committed
+baseline (``benchmarks/baselines/BENCH_E20_accel.json``): a ratio is a
+regression when it falls below ``baseline * (1 - tolerance)``.  Ratios
+*above* baseline never fail — improvements move the trajectory and the
+baseline should be refreshed (rerun ``bench_e20_accel.py`` and copy the
+record over the baseline) when they hold.
+
+Usage (what CI runs after ``bench_e20_accel.py --quick``)::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py --current BENCH_E20_accel.json
+
+Exit status: 0 when every tracked ratio is inside the band, 1 on any
+regression (or an unreadable record).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.analysis import format_table
+from repro.analysis.profiling import load_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_E20_accel.json"
+
+#: Fraction a ratio may fall below its baseline before the gate fails.
+#: Sized for single-core CI runners: per-run ratio noise observed on the
+#: E20 workloads is ~15-25%, so 35% flags real regressions (a dropped
+#: memo, an unbound fast path) without tripping on scheduler jitter.
+DEFAULT_TOLERANCE = 0.35
+
+#: The ratio fields a BENCH_E20 record tracks per workload.
+TRACKED_RATIOS = ("pure_wins_speedup", "backend_speedup")
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> list:
+    """All (workload, ratio, current, baseline, floor, ok) comparisons.
+
+    Workloads or ratios missing from the *current* record (e.g. no
+    compiled backend on this runner) are skipped; ratios missing from
+    the *baseline* have no band to enforce and are skipped too.
+    """
+    rows = []
+    for workload, base_entry in sorted(baseline["results"].items()):
+        cur_entry = current["results"].get(workload)
+        if cur_entry is None:
+            continue
+        for ratio in TRACKED_RATIOS:
+            if ratio not in base_entry or ratio not in cur_entry:
+                continue
+            floor = base_entry[ratio] * (1.0 - tolerance)
+            rows.append(
+                (
+                    workload,
+                    ratio,
+                    cur_entry[ratio],
+                    base_entry[ratio],
+                    floor,
+                    cur_entry[ratio] >= floor,
+                )
+            )
+    return rows
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", default="BENCH_E20_accel.json",
+        help="record produced by this run (bench_e20_accel.py --output)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(DEFAULT_BASELINE),
+        help="committed trajectory record to gate against",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop below baseline (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_bench_json(args.current)
+    baseline = load_bench_json(args.baseline)
+    for record, label in ((current, "current"), (baseline, "baseline")):
+        if record.get("bench") != "E20_accel":
+            print(
+                f"{label} record is {record.get('bench')!r}, not 'E20_accel'",
+                file=sys.stderr,
+            )
+            return 1
+
+    rows = compare(current, baseline, args.tolerance)
+    if not rows:
+        print("no tracked ratios in common: nothing to gate", file=sys.stderr)
+        return 1
+    print(
+        f"perf gate: {args.current} vs {args.baseline} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    print(
+        format_table(
+            ["workload", "ratio", "current", "baseline", "floor", "status"],
+            [
+                [
+                    workload,
+                    ratio,
+                    f"{cur:.2f}x",
+                    f"{base:.2f}x",
+                    f"{floor:.2f}x",
+                    "ok" if ok else "REGRESSION",
+                ]
+                for workload, ratio, cur, base, floor, ok in rows
+            ],
+        )
+    )
+    failed = [row for row in rows if not row[5]]
+    if failed:
+        print(
+            f"\n{len(failed)} ratio(s) regressed beyond the "
+            f"{args.tolerance:.0%} band",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(rows)} tracked ratios within the band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

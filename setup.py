@@ -1,7 +1,24 @@
-"""Legacy setup shim: enables `pip install -e .` in offline environments
-whose setuptools lacks PEP 660 editable-wheel support (no `wheel` package).
-All project metadata lives in pyproject.toml."""
+"""Setup shim for offline environments without PEP 660 editable-wheel
+support, plus the *optional* compiled simulation backend.
 
-from setuptools import setup
+The extension (``repro._core._accel``) is a pure accelerator: the
+pure-Python backend in ``repro._core.pure`` is the reference
+implementation and the package is fully functional without a C
+toolchain.  ``optional=True`` makes a failed compile a warning, not an
+install failure; ``python -m repro._core.build`` builds it in place
+explicitly (and is what CI uses).
+"""
 
-setup()
+from setuptools import Extension, find_packages, setup
+
+setup(
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    ext_modules=[
+        Extension(
+            "repro._core._accel",
+            sources=["src/repro/_core/_accel.c"],
+            optional=True,
+        )
+    ],
+)

@@ -1,0 +1,1553 @@
+/* Compiled backend of the simulation hot path (repro._core._accel).
+ *
+ * This extension is the second implementation of the backend contract
+ * defined by repro/_core/pure.py — the pure-Python module is the
+ * executable specification, this file is the same algorithms with the
+ * heap, the drain loops, the fast-path send and the canonical
+ * serializer in C.  The contract is byte-for-byte equivalence: same
+ * event order, same exception types and messages, same canonical bytes,
+ * same structural sizes, same stats counters.  The golden trace digests
+ * and tests/test_core_backend.py enforce it.
+ *
+ * Design notes:
+ *
+ * - Queue entries remain plain Python lists [time, seq, callback], so
+ *   EventHandle (and its cancel-by-overwrite protocol) works unchanged
+ *   across backends.  The heap itself is a C array of
+ *   {double key, long long seq, PyObject *list}: comparisons never
+ *   re-enter the interpreter, while the original time *object* is kept
+ *   in the entry so int-vs-float timing is preserved exactly (digests
+ *   record times; 5 must stay 5, not become 5.0).
+ *
+ * - `now` is likewise a PyObject* plus a cached double key.  Delivery
+ *   times are computed with PyNumber_Add(now, delay) so numeric typing
+ *   follows Python semantics.
+ *
+ * - Callbacks may re-enter the core (schedule, cancel, compact), so the
+ *   run loops re-read all core state from the struct after every
+ *   callback and never cache the heap pointer across one.
+ *
+ * - register() wires in the objects the backends must share (the FIRED
+ *   sentinel, the exception classes, the payload_size fallback used for
+ *   dataclass/object payloads); repro._core calls it at import time.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <math.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* Shared objects injected by register()                               */
+/* ------------------------------------------------------------------ */
+
+static PyObject *g_fired = NULL;         /* repro._core.pure.FIRED */
+static PyObject *g_sim_error = NULL;     /* SimulationError */
+static PyObject *g_sim_timeout = NULL;   /* SimulationTimeout */
+static PyObject *g_size_fallback = NULL; /* pure.payload_size */
+static Py_ssize_t g_size_memo_limit = 16;
+
+/* Interned attribute names (created at module init). */
+static PyObject *s_messages_sent = NULL;
+static PyObject *s_messages_delivered = NULL;
+static PyObject *s_bytes_sent = NULL;
+static PyObject *s_size_cache_hits = NULL;
+static PyObject *s_size_cache_misses = NULL;
+static PyObject *s_delay = NULL;
+static PyObject *s_signing_fields = NULL;
+static PyObject *s_name = NULL; /* "__name__" */
+
+static int
+check_registered(void)
+{
+    if (g_fired == NULL) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "repro._core._accel.register() has not been called; "
+                        "import the backend through repro._core");
+        return -1;
+    }
+    return 0;
+}
+
+/* stats.<attr> += amount   (attr is an interned str, amount a C long) */
+static int
+stats_inc(PyObject *stats, PyObject *attr, long amount)
+{
+    PyObject *cur = PyObject_GetAttr(stats, attr);
+    if (cur == NULL)
+        return -1;
+    PyObject *delta = PyLong_FromLong(amount);
+    if (delta == NULL) {
+        Py_DECREF(cur);
+        return -1;
+    }
+    PyObject *next = PyNumber_Add(cur, delta);
+    Py_DECREF(cur);
+    Py_DECREF(delta);
+    if (next == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(stats, attr, next);
+    Py_DECREF(next);
+    return rc;
+}
+
+/* stats.<attr> += obj      (obj is a Python number) */
+static int
+stats_add(PyObject *stats, PyObject *attr, PyObject *obj)
+{
+    PyObject *cur = PyObject_GetAttr(stats, attr);
+    if (cur == NULL)
+        return -1;
+    PyObject *next = PyNumber_Add(cur, obj);
+    Py_DECREF(cur);
+    if (next == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(stats, attr, next);
+    Py_DECREF(next);
+    return rc;
+}
+
+/* ------------------------------------------------------------------ */
+/* SimCore: the event heap, clock and run loops                        */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    double key;     /* time as double: heap comparisons stay in C */
+    long long seq;  /* tie-break, strictly increasing */
+    PyObject *list; /* owned [time, seq, callback] Python list */
+} HeapEntry;
+
+typedef struct {
+    PyObject_HEAD
+    HeapEntry *heap;
+    Py_ssize_t size;
+    Py_ssize_t capacity;
+    PyObject *now; /* owned; the exact object (int or float) */
+    double now_key;
+    long long seq;
+    long long events_processed;
+    Py_ssize_t cancelled;
+    long long compactions;
+    Py_ssize_t compact_min;
+} SimCore;
+
+static PyTypeObject SimCore_Type;
+
+static inline int
+entry_lt(const HeapEntry *a, const HeapEntry *b)
+{
+    if (a->key != b->key)
+        return a->key < b->key;
+    return a->seq < b->seq;
+}
+
+static int
+heap_reserve(SimCore *self, Py_ssize_t need)
+{
+    if (need <= self->capacity)
+        return 0;
+    Py_ssize_t cap = self->capacity ? self->capacity : 64;
+    while (cap < need)
+        cap += cap;
+    HeapEntry *heap = PyMem_Realloc(self->heap, (size_t)cap * sizeof(HeapEntry));
+    if (heap == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->heap = heap;
+    self->capacity = cap;
+    return 0;
+}
+
+/* Bubble the entry at `pos` up toward the root. */
+static void
+heap_siftup(HeapEntry *heap, Py_ssize_t pos)
+{
+    HeapEntry item = heap[pos];
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!entry_lt(&item, &heap[parent]))
+            break;
+        heap[pos] = heap[parent];
+        pos = parent;
+    }
+    heap[pos] = item;
+}
+
+/* Bubble the entry at `pos` down into place (children are heaps). */
+static void
+heap_siftdown(HeapEntry *heap, Py_ssize_t size, Py_ssize_t pos)
+{
+    HeapEntry item = heap[pos];
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1;
+        if (child >= size)
+            break;
+        if (child + 1 < size && entry_lt(&heap[child + 1], &heap[child]))
+            child += 1;
+        if (!entry_lt(&heap[child], &item))
+            break;
+        heap[pos] = heap[child];
+        pos = child;
+    }
+    heap[pos] = item;
+}
+
+static int
+heap_push(SimCore *self, double key, long long seq, PyObject *list)
+{
+    if (heap_reserve(self, self->size + 1) < 0)
+        return -1;
+    HeapEntry *e = &self->heap[self->size++];
+    e->key = key;
+    e->seq = seq;
+    e->list = list; /* steals the reference */
+    heap_siftup(self->heap, self->size - 1);
+    return 0;
+}
+
+/* Pop the minimum entry.  Caller owns the returned list reference. */
+static HeapEntry
+heap_pop(SimCore *self)
+{
+    HeapEntry top = self->heap[0];
+    self->size -= 1;
+    if (self->size > 0) {
+        self->heap[0] = self->heap[self->size];
+        heap_siftdown(self->heap, self->size, 0);
+    }
+    return top;
+}
+
+static void
+set_now(SimCore *self, PyObject *time, double key)
+{
+    Py_INCREF(time);
+    Py_SETREF(self->now, time);
+    self->now_key = key;
+}
+
+static PyObject *
+SimCore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    Py_ssize_t compact_min = 64;
+    static char *kwlist[] = {"compact_min", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|n", kwlist, &compact_min))
+        return NULL;
+    if (check_registered() < 0)
+        return NULL;
+    SimCore *self = (SimCore *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->heap = NULL;
+    self->size = 0;
+    self->capacity = 0;
+    self->now = PyFloat_FromDouble(0.0);
+    if (self->now == NULL) {
+        Py_DECREF(self);
+        return NULL;
+    }
+    self->now_key = 0.0;
+    self->seq = 0;
+    self->events_processed = 0;
+    self->cancelled = 0;
+    self->compactions = 0;
+    self->compact_min = compact_min;
+    return (PyObject *)self;
+}
+
+static int
+SimCore_traverse(SimCore *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->now);
+    for (Py_ssize_t i = 0; i < self->size; i++)
+        Py_VISIT(self->heap[i].list);
+    return 0;
+}
+
+static int
+SimCore_clear_impl(SimCore *self)
+{
+    Py_CLEAR(self->now);
+    for (Py_ssize_t i = 0; i < self->size; i++)
+        Py_CLEAR(self->heap[i].list);
+    self->size = 0;
+    return 0;
+}
+
+static void
+SimCore_dealloc(SimCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    SimCore_clear_impl(self);
+    PyMem_Free(self->heap);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* Build the entry list, validate the time, push.  Returns the entry
+ * list as a NEW reference (push) or NULL on error. */
+static PyObject *
+simcore_push_entry(SimCore *self, PyObject *time, PyObject *callback)
+{
+    double key = PyFloat_AsDouble(time);
+    if (key == -1.0 && PyErr_Occurred())
+        return NULL;
+    if (key < self->now_key) {
+        PyErr_Format(g_sim_error,
+                     "cannot schedule in the past: time=%S < now=%S",
+                     time, self->now);
+        return NULL;
+    }
+    long long seq = self->seq;
+    PyObject *seq_obj = PyLong_FromLongLong(seq);
+    if (seq_obj == NULL)
+        return NULL;
+    PyObject *list = PyList_New(3);
+    if (list == NULL) {
+        Py_DECREF(seq_obj);
+        return NULL;
+    }
+    Py_INCREF(time);
+    PyList_SET_ITEM(list, 0, time);
+    PyList_SET_ITEM(list, 1, seq_obj);
+    Py_INCREF(callback);
+    PyList_SET_ITEM(list, 2, callback);
+    Py_INCREF(list); /* the heap's reference; `list` stays the caller's */
+    if (heap_push(self, key, seq, list) < 0) {
+        Py_DECREF(list);
+        Py_DECREF(list);
+        return NULL;
+    }
+    self->seq = seq + 1;
+    return list;
+}
+
+static PyObject *
+SimCore_push(SimCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "push(time, callback)");
+        return NULL;
+    }
+    return simcore_push_entry(self, args[0], args[1]);
+}
+
+static PyObject *
+SimCore_post(SimCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "post(time, callback)");
+        return NULL;
+    }
+    PyObject *list = simcore_push_entry(self, args[0], args[1]);
+    if (list == NULL)
+        return NULL;
+    Py_DECREF(list);
+    Py_RETURN_NONE;
+}
+
+/* Drop cancelled entries in place and restore the heap invariant. */
+static void
+simcore_compact(SimCore *self)
+{
+    Py_ssize_t live = 0;
+    for (Py_ssize_t i = 0; i < self->size; i++) {
+        HeapEntry *e = &self->heap[i];
+        if (PyList_GET_ITEM(e->list, 2) == Py_None) {
+            Py_DECREF(e->list);
+        }
+        else {
+            self->heap[live++] = *e;
+        }
+    }
+    self->size = live;
+    for (Py_ssize_t i = live / 2 - 1; i >= 0; i--)
+        heap_siftdown(self->heap, live, i);
+    self->cancelled = 0;
+    self->compactions += 1;
+}
+
+static PyObject *
+SimCore_note_cancel(SimCore *self, PyObject *Py_UNUSED(ignored))
+{
+    Py_ssize_t cancelled = self->cancelled + 1;
+    self->cancelled = cancelled;
+    if (cancelled >= self->compact_min && cancelled * 2 > self->size)
+        simcore_compact(self);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+SimCore_compact_method(SimCore *self, PyObject *Py_UNUSED(ignored))
+{
+    simcore_compact(self);
+    Py_RETURN_NONE;
+}
+
+/* Pop-skip-fire one event.  Returns 1 if an event ran, 0 if the queue
+ * was empty, -1 on error (exception set). */
+static int
+simcore_step(SimCore *self)
+{
+    while (self->size > 0) {
+        HeapEntry top = heap_pop(self);
+        PyObject *callback = PyList_GET_ITEM(top.list, 2); /* borrowed */
+        if (callback == Py_None) {
+            self->cancelled -= 1;
+            Py_DECREF(top.list);
+            continue;
+        }
+        Py_INCREF(callback);
+        Py_INCREF(g_fired);
+        PyList_SetItem(top.list, 2, g_fired); /* decrefs old callback */
+        set_now(self, PyList_GET_ITEM(top.list, 0), top.key);
+        self->events_processed += 1;
+        Py_DECREF(top.list);
+        PyObject *result = PyObject_CallNoArgs(callback);
+        Py_DECREF(callback);
+        if (result == NULL)
+            return -1;
+        Py_DECREF(result);
+        return 1;
+    }
+    return 0;
+}
+
+static PyObject *
+SimCore_step(SimCore *self, PyObject *Py_UNUSED(ignored))
+{
+    int rc = simcore_step(self);
+    if (rc < 0)
+        return NULL;
+    return PyBool_FromLong(rc);
+}
+
+static PyObject *
+SimCore_drain(SimCore *self, PyObject *Py_UNUSED(ignored))
+{
+    /* The unbounded drain: identical to step() in a loop, without the
+     * per-event Python method dispatch.  State is re-read from the
+     * struct every iteration because callbacks re-enter the core. */
+    while (self->size > 0) {
+        int rc = simcore_step(self);
+        if (rc < 0)
+            return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+/* now = max(now, until): Python max() keeps the first argument on ties,
+ * so only a strictly larger `until` replaces the clock object. */
+static void
+advance_now_to(SimCore *self, PyObject *until, double until_key)
+{
+    if (until_key > self->now_key)
+        set_now(self, until, until_key);
+}
+
+static PyObject *
+SimCore_run_bounded(SimCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "run_bounded(until, max_events)");
+        return NULL;
+    }
+    PyObject *until = args[0];
+    PyObject *max_events = args[1];
+    int has_until = until != Py_None;
+    int has_max = max_events != Py_None;
+    double until_key = 0.0;
+    long long max_key = 0;
+    if (has_until) {
+        until_key = PyFloat_AsDouble(until);
+        if (until_key == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    if (has_max) {
+        max_key = PyLong_AsLongLong(max_events);
+        if (max_key == -1 && PyErr_Occurred())
+            return NULL;
+    }
+    long long executed = 0;
+    while (self->size > 0) {
+        HeapEntry *top = &self->heap[0];
+        PyObject *callback = PyList_GET_ITEM(top->list, 2);
+        if (callback == Py_None) {
+            HeapEntry dead = heap_pop(self);
+            self->cancelled -= 1;
+            Py_DECREF(dead.list);
+            continue;
+        }
+        if (has_until && top->key > until_key) {
+            advance_now_to(self, until, until_key);
+            Py_RETURN_NONE;
+        }
+        if (has_max && executed >= max_key) {
+            return PyErr_Format(g_sim_error,
+                                "exceeded max_events=%S at time %S",
+                                max_events, self->now);
+        }
+        HeapEntry live = heap_pop(self);
+        Py_INCREF(callback);
+        Py_INCREF(g_fired);
+        PyList_SetItem(live.list, 2, g_fired);
+        set_now(self, PyList_GET_ITEM(live.list, 0), live.key);
+        self->events_processed += 1;
+        executed += 1;
+        Py_DECREF(live.list);
+        PyObject *result = PyObject_CallNoArgs(callback);
+        Py_DECREF(callback);
+        if (result == NULL)
+            return NULL;
+        Py_DECREF(result);
+    }
+    if (has_until)
+        advance_now_to(self, until, until_key);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+SimCore_run_pred(SimCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "run_pred(predicate, timeout, max_events)");
+        return NULL;
+    }
+    PyObject *predicate = args[0];
+    PyObject *timeout = args[1];
+    PyObject *max_events = args[2];
+    double timeout_key = PyFloat_AsDouble(timeout);
+    if (timeout_key == -1.0 && PyErr_Occurred())
+        return NULL;
+    long long max_key = PyLong_AsLongLong(max_events);
+    if (max_key == -1 && PyErr_Occurred())
+        return NULL;
+
+    PyObject *verdict = PyObject_CallNoArgs(predicate);
+    if (verdict == NULL)
+        return NULL;
+    int truth = PyObject_IsTrue(verdict);
+    Py_DECREF(verdict);
+    if (truth < 0)
+        return NULL;
+    if (truth)
+        return Py_NewRef(self->now);
+
+    long long executed = 0;
+    while (self->size > 0) {
+        HeapEntry *top = &self->heap[0];
+        PyObject *callback = PyList_GET_ITEM(top->list, 2);
+        if (callback == Py_None) {
+            HeapEntry dead = heap_pop(self);
+            self->cancelled -= 1;
+            Py_DECREF(dead.list);
+            continue;
+        }
+        if (top->key > timeout_key)
+            break;
+        if (executed >= max_key) {
+            return PyErr_Format(g_sim_error,
+                                "exceeded max_events=%S at time %S",
+                                max_events, self->now);
+        }
+        HeapEntry live = heap_pop(self);
+        Py_INCREF(callback);
+        Py_INCREF(g_fired);
+        PyList_SetItem(live.list, 2, g_fired);
+        set_now(self, PyList_GET_ITEM(live.list, 0), live.key);
+        self->events_processed += 1;
+        executed += 1;
+        Py_DECREF(live.list);
+        PyObject *result = PyObject_CallNoArgs(callback);
+        Py_DECREF(callback);
+        if (result == NULL)
+            return NULL;
+        Py_DECREF(result);
+        verdict = PyObject_CallNoArgs(predicate);
+        if (verdict == NULL)
+            return NULL;
+        truth = PyObject_IsTrue(verdict);
+        Py_DECREF(verdict);
+        if (truth < 0)
+            return NULL;
+        if (truth)
+            return Py_NewRef(self->now);
+    }
+    /* min(now, timeout): min() keeps the first argument on ties. */
+    PyObject *at = self->now_key <= timeout_key ? self->now : timeout;
+    return PyErr_Format(g_sim_timeout,
+                        "predicate not satisfied by time %S "
+                        "(%lld events executed)",
+                        at, executed);
+}
+
+static PyObject *
+SimCore_get_now(SimCore *self, void *Py_UNUSED(closure))
+{
+    return Py_NewRef(self->now);
+}
+
+static PyObject *
+SimCore_get_events_processed(SimCore *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromLongLong(self->events_processed);
+}
+
+static PyObject *
+SimCore_get_pending(SimCore *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromSsize_t(self->size - self->cancelled);
+}
+
+static PyObject *
+SimCore_get_depth(SimCore *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromSsize_t(self->size);
+}
+
+static PyObject *
+SimCore_get_compactions(SimCore *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromLongLong(self->compactions);
+}
+
+static PyMethodDef SimCore_methods[] = {
+    {"push", (PyCFunction)(void (*)(void))SimCore_push, METH_FASTCALL,
+     "push(time, callback) -> entry list; schedule and return the entry"},
+    {"post", (PyCFunction)(void (*)(void))SimCore_post, METH_FASTCALL,
+     "post(time, callback); schedule with no handle (delivery hot path)"},
+    {"note_cancel", (PyCFunction)SimCore_note_cancel, METH_NOARGS,
+     "count one cancellation and compact when tombstones dominate"},
+    {"compact", (PyCFunction)SimCore_compact_method, METH_NOARGS,
+     "drop cancelled entries and re-heapify"},
+    {"step", (PyCFunction)SimCore_step, METH_NOARGS,
+     "run the next live event; returns True if one ran"},
+    {"drain", (PyCFunction)SimCore_drain, METH_NOARGS,
+     "run every queued event in order"},
+    {"run_bounded", (PyCFunction)(void (*)(void))SimCore_run_bounded,
+     METH_FASTCALL, "run_bounded(until, max_events)"},
+    {"run_pred", (PyCFunction)(void (*)(void))SimCore_run_pred,
+     METH_FASTCALL, "run_pred(predicate, timeout, max_events) -> time"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyGetSetDef SimCore_getset[] = {
+    {"now", (getter)SimCore_get_now, NULL, "current simulation time", NULL},
+    {"events_processed", (getter)SimCore_get_events_processed, NULL,
+     "events executed so far", NULL},
+    {"pending_events", (getter)SimCore_get_pending, NULL,
+     "live (non-cancelled) queued events", NULL},
+    {"queue_depth", (getter)SimCore_get_depth, NULL,
+     "raw queue length, tombstones included", NULL},
+    {"compactions", (getter)SimCore_get_compactions, NULL,
+     "number of queue compactions so far", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyTypeObject SimCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._core._accel.SimCore",
+    .tp_basicsize = sizeof(SimCore),
+    .tp_dealloc = (destructor)SimCore_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "C event heap + clock + run loops of the simulator",
+    .tp_traverse = (traverseproc)SimCore_traverse,
+    .tp_clear = (inquiry)SimCore_clear_impl,
+    .tp_methods = SimCore_methods,
+    .tp_getset = SimCore_getset,
+    .tp_new = SimCore_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* CDeliver: the posted fast-path delivery callback                    */
+/* (C twin of repro._core.pure.make_deliver + functools.partial)       */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *handlers; /* the network's live handler dict (borrow-alike, owned ref) */
+    PyObject *stats;
+    PyObject *dst;
+    PyObject *src;
+    PyObject *payload;
+} CDeliver;
+
+static PyTypeObject CDeliver_Type;
+
+static int
+CDeliver_traverse(CDeliver *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->handlers);
+    Py_VISIT(self->stats);
+    Py_VISIT(self->dst);
+    Py_VISIT(self->src);
+    Py_VISIT(self->payload);
+    return 0;
+}
+
+static int
+CDeliver_clear(CDeliver *self)
+{
+    Py_CLEAR(self->handlers);
+    Py_CLEAR(self->stats);
+    Py_CLEAR(self->dst);
+    Py_CLEAR(self->src);
+    Py_CLEAR(self->payload);
+    return 0;
+}
+
+static void
+CDeliver_dealloc(CDeliver *self)
+{
+    PyObject_GC_UnTrack(self);
+    CDeliver_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+CDeliver_call(CDeliver *self, PyObject *args, PyObject *kwargs)
+{
+    /* Handler lookup happens at delivery time: the destination may have
+     * been unregistered while the message was in flight. */
+    PyObject *handler = PyDict_GetItemWithError(self->handlers, self->dst);
+    if (handler == NULL) {
+        if (PyErr_Occurred())
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    Py_INCREF(handler);
+    if (stats_inc(self->stats, s_messages_delivered, 1) < 0) {
+        Py_DECREF(handler);
+        return NULL;
+    }
+    PyObject *result =
+        PyObject_CallFunctionObjArgs(handler, self->src, self->payload, NULL);
+    Py_DECREF(handler);
+    return result;
+}
+
+static PyTypeObject CDeliver_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._core._accel.CDeliver",
+    .tp_basicsize = sizeof(CDeliver),
+    .tp_dealloc = (destructor)CDeliver_dealloc,
+    .tp_call = (ternaryfunc)CDeliver_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "posted zero-rule delivery callback (compiled fast path)",
+    .tp_traverse = (traverseproc)CDeliver_traverse,
+    .tp_clear = (inquiry)CDeliver_clear,
+};
+
+/* ------------------------------------------------------------------ */
+/* NetCore: the compiled fast-path send                                */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    SimCore *sim;         /* owned */
+    PyObject *handlers;   /* the network's handler dict */
+    PyObject *stats;      /* NetworkStats */
+    PyObject *envelope;   /* the Envelope NamedTuple class */
+    PyObject *fixed;      /* fixed delay (float) or Py_None */
+    PyObject *model;      /* the delay model, used when fixed is None */
+} NetCore;
+
+static PyTypeObject NetCore_Type;
+
+static PyObject *
+NetCore_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    PyObject *sim, *handlers, *stats, *envelope;
+    static char *kwlist[] = {"simcore", "handlers", "stats", "envelope_cls",
+                             NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O!O!OO", kwlist,
+                                     &SimCore_Type, &sim, &PyDict_Type,
+                                     &handlers, &stats, &envelope))
+        return NULL;
+    if (check_registered() < 0)
+        return NULL;
+    NetCore *self = (NetCore *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->sim = (SimCore *)Py_NewRef(sim);
+    self->handlers = Py_NewRef(handlers);
+    self->stats = Py_NewRef(stats);
+    self->envelope = Py_NewRef(envelope);
+    self->fixed = Py_NewRef(Py_None);
+    self->model = Py_NewRef(Py_None);
+    return (PyObject *)self;
+}
+
+static int
+NetCore_traverse(NetCore *self, visitproc visit, void *arg)
+{
+    Py_VISIT((PyObject *)self->sim);
+    Py_VISIT(self->handlers);
+    Py_VISIT(self->stats);
+    Py_VISIT(self->envelope);
+    Py_VISIT(self->fixed);
+    Py_VISIT(self->model);
+    return 0;
+}
+
+static int
+NetCore_clear(NetCore *self)
+{
+    Py_CLEAR(self->sim);
+    Py_CLEAR(self->handlers);
+    Py_CLEAR(self->stats);
+    Py_CLEAR(self->envelope);
+    Py_CLEAR(self->fixed);
+    Py_CLEAR(self->model);
+    return 0;
+}
+
+static void
+NetCore_dealloc(NetCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    NetCore_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+NetCore_set_delay(NetCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "set_delay(fixed_or_None, model)");
+        return NULL;
+    }
+    Py_INCREF(args[0]);
+    Py_SETREF(self->fixed, args[0]);
+    Py_INCREF(args[1]);
+    Py_SETREF(self->model, args[1]);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+NetCore_send(NetCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError, "send(src, dst, payload, size)");
+        return NULL;
+    }
+    PyObject *src = args[0];
+    PyObject *dst = args[1];
+    PyObject *payload = args[2];
+    PyObject *size = args[3];
+    SimCore *sim = self->sim;
+
+    int has = PyDict_Contains(self->handlers, dst);
+    if (has < 0)
+        return NULL;
+    if (!has) {
+        PyErr_Format(PyExc_ValueError, "unknown destination process %S", dst);
+        return NULL;
+    }
+
+    PyObject *now = sim->now; /* borrowed: sim holds it for this scope */
+    PyObject *deliver;
+    if (self->fixed != Py_None) {
+        deliver = PyNumber_Add(now, self->fixed);
+        if (deliver == NULL)
+            return NULL;
+    }
+    else {
+        PyObject *delay = PyObject_CallMethodObjArgs(self->model, s_delay,
+                                                     src, dst, now, NULL);
+        if (delay == NULL)
+            return NULL;
+        double d = PyFloat_AsDouble(delay);
+        if (d == -1.0 && PyErr_Occurred()) {
+            Py_DECREF(delay);
+            return NULL;
+        }
+        /* !(d >= 0 && d < inf) also rejects NaN, like the pure chain. */
+        if (!(d >= 0.0 && d < INFINITY)) {
+            PyErr_Format(PyExc_ValueError,
+                         "delay model returned invalid delay %S", delay);
+            Py_DECREF(delay);
+            return NULL;
+        }
+        deliver = PyNumber_Add(now, delay);
+        Py_DECREF(delay);
+        if (deliver == NULL)
+            return NULL;
+    }
+
+    PyObject *envelope = PyObject_CallFunctionObjArgs(
+        self->envelope, src, dst, payload, now, deliver, NULL);
+    if (envelope == NULL) {
+        Py_DECREF(deliver);
+        return NULL;
+    }
+    if (stats_inc(self->stats, s_messages_sent, 1) < 0 ||
+        stats_add(self->stats, s_bytes_sent, size) < 0) {
+        Py_DECREF(deliver);
+        Py_DECREF(envelope);
+        return NULL;
+    }
+
+    CDeliver *cb = PyObject_GC_New(CDeliver, &CDeliver_Type);
+    if (cb == NULL) {
+        Py_DECREF(deliver);
+        Py_DECREF(envelope);
+        return NULL;
+    }
+    cb->handlers = Py_NewRef(self->handlers);
+    cb->stats = Py_NewRef(self->stats);
+    cb->dst = Py_NewRef(dst);
+    cb->src = Py_NewRef(src);
+    cb->payload = Py_NewRef(payload);
+    PyObject_GC_Track(cb);
+
+    PyObject *entry = simcore_push_entry(sim, deliver, (PyObject *)cb);
+    Py_DECREF(deliver);
+    Py_DECREF(cb);
+    if (entry == NULL) {
+        Py_DECREF(envelope);
+        return NULL;
+    }
+    Py_DECREF(entry);
+    return envelope;
+}
+
+static PyMethodDef NetCore_methods[] = {
+    {"set_delay", (PyCFunction)(void (*)(void))NetCore_set_delay,
+     METH_FASTCALL,
+     "set_delay(fixed_or_None, model): install the delay strategy"},
+    {"send", (PyCFunction)(void (*)(void))NetCore_send, METH_FASTCALL,
+     "send(src, dst, payload, size) -> Envelope (zero-rule fast path)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject NetCore_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._core._accel.NetCore",
+    .tp_basicsize = sizeof(NetCore),
+    .tp_dealloc = (destructor)NetCore_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "compiled zero-rule fast-path send for the network",
+    .tp_traverse = (traverseproc)NetCore_traverse,
+    .tp_clear = (inquiry)NetCore_clear,
+    .tp_methods = NetCore_methods,
+    .tp_new = NetCore_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* canonical_bytes: the deterministic serializer                       */
+/* ------------------------------------------------------------------ */
+
+/* A tiny growable byte buffer for one serialization. */
+typedef struct {
+    char *data;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+} Buf;
+
+static int
+buf_reserve(Buf *b, Py_ssize_t extra)
+{
+    if (b->len + extra <= b->cap)
+        return 0;
+    Py_ssize_t cap = b->cap ? b->cap : 64;
+    while (cap < b->len + extra)
+        cap += cap;
+    char *data = PyMem_Realloc(b->data, (size_t)cap);
+    if (data == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    b->data = data;
+    b->cap = cap;
+    return 0;
+}
+
+static int
+buf_put(Buf *b, const char *bytes, Py_ssize_t n)
+{
+    if (buf_reserve(b, n) < 0)
+        return -1;
+    memcpy(b->data + b->len, bytes, (size_t)n);
+    b->len += n;
+    return 0;
+}
+
+static int
+buf_put_char(Buf *b, char c)
+{
+    return buf_put(b, &c, 1);
+}
+
+/* 4-byte big-endian length, matching len(data).to_bytes(4, "big"). */
+static int
+buf_put_be32(Buf *b, Py_ssize_t n)
+{
+    if (n > 0xffffffffLL || n < 0) {
+        PyErr_SetString(PyExc_OverflowError,
+                        "canonical_bytes: length exceeds 4 bytes");
+        return -1;
+    }
+    unsigned char be[4] = {(unsigned char)((n >> 24) & 0xff),
+                           (unsigned char)((n >> 16) & 0xff),
+                           (unsigned char)((n >> 8) & 0xff),
+                           (unsigned char)(n & 0xff)};
+    return buf_put(b, (const char *)be, 4);
+}
+
+static int
+buf_put_be16(Buf *b, Py_ssize_t n)
+{
+    if (n > 0xffffLL || n < 0) {
+        PyErr_SetString(PyExc_OverflowError,
+                        "canonical_bytes: type tag exceeds 2 bytes");
+        return -1;
+    }
+    unsigned char be[2] = {(unsigned char)((n >> 8) & 0xff),
+                           (unsigned char)(n & 0xff)};
+    return buf_put(b, (const char *)be, 2);
+}
+
+static int canon(PyObject *obj, Buf *out);
+
+/* Serialize one object into a fresh PyBytes (for sort-then-join). */
+static PyObject *
+canon_to_bytes(PyObject *obj)
+{
+    Buf b = {NULL, 0, 0};
+    if (canon(obj, &b) < 0) {
+        PyMem_Free(b.data);
+        return NULL;
+    }
+    PyObject *result = PyBytes_FromStringAndSize(b.data, b.len);
+    PyMem_Free(b.data);
+    return result;
+}
+
+static int
+bytes_cmp(PyObject *a, PyObject *b)
+{
+    Py_ssize_t la = PyBytes_GET_SIZE(a);
+    Py_ssize_t lb = PyBytes_GET_SIZE(b);
+    Py_ssize_t n = la < lb ? la : lb;
+    int c = memcmp(PyBytes_AS_STRING(a), PyBytes_AS_STRING(b), (size_t)n);
+    if (c != 0)
+        return c;
+    return la < lb ? -1 : (la > lb ? 1 : 0);
+}
+
+static int
+cmp_bytes_qsort(const void *pa, const void *pb)
+{
+    return bytes_cmp(*(PyObject *const *)pa, *(PyObject *const *)pb);
+}
+
+typedef struct {
+    PyObject *k;
+    PyObject *v;
+} KVPair;
+
+static int
+cmp_kv_qsort(const void *pa, const void *pb)
+{
+    const KVPair *a = (const KVPair *)pa;
+    const KVPair *b = (const KVPair *)pb;
+    int c = bytes_cmp(a->k, b->k);
+    if (c != 0)
+        return c;
+    return bytes_cmp(a->v, b->v);
+}
+
+static int
+canon(PyObject *obj, Buf *out)
+{
+    if (obj == Py_None)
+        return buf_put_char(out, 'N');
+    if (PyBool_Check(obj))
+        return buf_put(out, obj == Py_True ? "B1" : "B0", 2);
+    if (PyLong_Check(obj)) {
+        PyObject *str = PyObject_Str(obj);
+        if (str == NULL)
+            return -1;
+        Py_ssize_t n;
+        const char *utf8 = PyUnicode_AsUTF8AndSize(str, &n);
+        if (utf8 == NULL || buf_put_char(out, 'I') < 0 ||
+            buf_put_be32(out, n) < 0 || buf_put(out, utf8, n) < 0) {
+            Py_DECREF(str);
+            return -1;
+        }
+        Py_DECREF(str);
+        return 0;
+    }
+    if (PyFloat_Check(obj)) {
+        PyObject *repr = PyObject_Repr(obj);
+        if (repr == NULL)
+            return -1;
+        Py_ssize_t n;
+        const char *utf8 = PyUnicode_AsUTF8AndSize(repr, &n);
+        if (utf8 == NULL || buf_put_char(out, 'F') < 0 ||
+            buf_put_be32(out, n) < 0 || buf_put(out, utf8, n) < 0) {
+            Py_DECREF(repr);
+            return -1;
+        }
+        Py_DECREF(repr);
+        return 0;
+    }
+    if (PyUnicode_Check(obj)) {
+        Py_ssize_t n;
+        const char *utf8 = PyUnicode_AsUTF8AndSize(obj, &n);
+        if (utf8 == NULL)
+            return -1;
+        if (buf_put_char(out, 'S') < 0 || buf_put_be32(out, n) < 0)
+            return -1;
+        return buf_put(out, utf8, n);
+    }
+    if (PyBytes_Check(obj)) {
+        Py_ssize_t n = PyBytes_GET_SIZE(obj);
+        if (buf_put_char(out, 'Y') < 0 || buf_put_be32(out, n) < 0)
+            return -1;
+        return buf_put(out, PyBytes_AS_STRING(obj), n);
+    }
+    if (PyTuple_Check(obj) || PyList_Check(obj)) {
+        if (Py_EnterRecursiveCall(" in canonical_bytes"))
+            return -1;
+        Py_ssize_t n = PySequence_Fast_GET_SIZE(obj);
+        int rc = buf_put_char(out, 'T') < 0 || buf_put_be32(out, n) < 0 ? -1 : 0;
+        for (Py_ssize_t i = 0; rc == 0 && i < n; i++) {
+            PyObject *item = PyTuple_Check(obj) ? PyTuple_GET_ITEM(obj, i)
+                                                : PyList_GET_ITEM(obj, i);
+            rc = canon(item, out);
+        }
+        Py_LeaveRecursiveCall();
+        return rc;
+    }
+    if (PyAnySet_Check(obj)) {
+        if (Py_EnterRecursiveCall(" in canonical_bytes"))
+            return -1;
+        Py_ssize_t n = PySet_GET_SIZE(obj);
+        PyObject **parts = PyMem_Malloc((size_t)(n ? n : 1) * sizeof(PyObject *));
+        if (parts == NULL) {
+            Py_LeaveRecursiveCall();
+            PyErr_NoMemory();
+            return -1;
+        }
+        Py_ssize_t count = 0;
+        int rc = 0;
+        PyObject *iter = PyObject_GetIter(obj);
+        if (iter == NULL)
+            rc = -1;
+        else {
+            PyObject *item;
+            while ((item = PyIter_Next(iter)) != NULL) {
+                PyObject *bytes = canon_to_bytes(item);
+                Py_DECREF(item);
+                if (bytes == NULL) {
+                    rc = -1;
+                    break;
+                }
+                parts[count++] = bytes;
+            }
+            if (PyErr_Occurred())
+                rc = -1;
+            Py_DECREF(iter);
+        }
+        if (rc == 0) {
+            qsort(parts, (size_t)count, sizeof(PyObject *), cmp_bytes_qsort);
+            rc = buf_put_char(out, 'E') < 0 || buf_put_be32(out, count) < 0
+                     ? -1
+                     : 0;
+            for (Py_ssize_t i = 0; rc == 0 && i < count; i++)
+                rc = buf_put(out, PyBytes_AS_STRING(parts[i]),
+                             PyBytes_GET_SIZE(parts[i]));
+        }
+        for (Py_ssize_t i = 0; i < count; i++)
+            Py_DECREF(parts[i]);
+        PyMem_Free(parts);
+        Py_LeaveRecursiveCall();
+        return rc;
+    }
+    if (PyDict_Check(obj)) {
+        if (Py_EnterRecursiveCall(" in canonical_bytes"))
+            return -1;
+        Py_ssize_t n = PyDict_GET_SIZE(obj);
+        KVPair *pairs = PyMem_Malloc((size_t)(n ? n : 1) * sizeof(KVPair));
+        if (pairs == NULL) {
+            Py_LeaveRecursiveCall();
+            PyErr_NoMemory();
+            return -1;
+        }
+        Py_ssize_t count = 0;
+        int rc = 0;
+        Py_ssize_t pos = 0;
+        PyObject *key, *value;
+        while (rc == 0 && PyDict_Next(obj, &pos, &key, &value)) {
+            PyObject *kb = canon_to_bytes(key);
+            if (kb == NULL) {
+                rc = -1;
+                break;
+            }
+            PyObject *vb = canon_to_bytes(value);
+            if (vb == NULL) {
+                Py_DECREF(kb);
+                rc = -1;
+                break;
+            }
+            pairs[count].k = kb;
+            pairs[count].v = vb;
+            count++;
+        }
+        if (rc == 0) {
+            qsort(pairs, (size_t)count, sizeof(KVPair), cmp_kv_qsort);
+            rc = buf_put_char(out, 'D') < 0 || buf_put_be32(out, count) < 0
+                     ? -1
+                     : 0;
+            for (Py_ssize_t i = 0; rc == 0 && i < count; i++) {
+                rc = buf_put(out, PyBytes_AS_STRING(pairs[i].k),
+                             PyBytes_GET_SIZE(pairs[i].k));
+                if (rc == 0)
+                    rc = buf_put(out, PyBytes_AS_STRING(pairs[i].v),
+                                 PyBytes_GET_SIZE(pairs[i].v));
+            }
+        }
+        for (Py_ssize_t i = 0; i < count; i++) {
+            Py_DECREF(pairs[i].k);
+            Py_DECREF(pairs[i].v);
+        }
+        PyMem_Free(pairs);
+        Py_LeaveRecursiveCall();
+        return rc;
+    }
+    /* Objects exposing signing_fields() — the protocol dataclasses. */
+    PyObject *fields_method = PyObject_GetAttr(obj, s_signing_fields);
+    if (fields_method == NULL) {
+        if (!PyErr_ExceptionMatches(PyExc_AttributeError))
+            return -1;
+        PyErr_Clear();
+    }
+    if (fields_method != NULL && PyCallable_Check(fields_method)) {
+        if (Py_EnterRecursiveCall(" in canonical_bytes")) {
+            Py_DECREF(fields_method);
+            return -1;
+        }
+        int rc = 0;
+        PyObject *type_name =
+            PyObject_GetAttr((PyObject *)Py_TYPE(obj), s_name);
+        Py_ssize_t tag_len = 0;
+        const char *tag = NULL;
+        if (type_name == NULL)
+            rc = -1;
+        else {
+            tag = PyUnicode_AsUTF8AndSize(type_name, &tag_len);
+            if (tag == NULL)
+                rc = -1;
+        }
+        if (rc == 0)
+            rc = buf_put_char(out, 'O') < 0 || buf_put_be16(out, tag_len) < 0 ||
+                         buf_put(out, tag, tag_len) < 0
+                     ? -1
+                     : 0;
+        if (rc == 0) {
+            PyObject *fields = PyObject_CallNoArgs(fields_method);
+            if (fields == NULL)
+                rc = -1;
+            else {
+                rc = canon(fields, out);
+                Py_DECREF(fields);
+            }
+        }
+        Py_XDECREF(type_name);
+        Py_DECREF(fields_method);
+        Py_LeaveRecursiveCall();
+        return rc;
+    }
+    Py_XDECREF(fields_method);
+    PyObject *type_name = PyObject_GetAttr((PyObject *)Py_TYPE(obj), s_name);
+    if (type_name == NULL)
+        return -1;
+    PyErr_Format(PyExc_TypeError, "cannot canonicalize %S: %R", type_name,
+                 obj);
+    Py_DECREF(type_name);
+    return -1;
+}
+
+static PyObject *
+accel_canonical_bytes(PyObject *Py_UNUSED(module), PyObject *obj)
+{
+    return canon_to_bytes(obj);
+}
+
+/* ------------------------------------------------------------------ */
+/* payload_size: the structural size model                             */
+/* ------------------------------------------------------------------ */
+
+static int size_of(PyObject *obj, long long *out);
+
+static int
+size_of_iterable(PyObject *obj, long long *out)
+{
+    PyObject *iter = PyObject_GetIter(obj);
+    if (iter == NULL)
+        return -1;
+    long long total = 2;
+    PyObject *item;
+    while ((item = PyIter_Next(iter)) != NULL) {
+        long long part;
+        int rc = size_of(item, &part);
+        Py_DECREF(item);
+        if (rc < 0) {
+            Py_DECREF(iter);
+            return -1;
+        }
+        total += part;
+    }
+    Py_DECREF(iter);
+    if (PyErr_Occurred())
+        return -1;
+    *out = total;
+    return 0;
+}
+
+static int
+size_of(PyObject *obj, long long *out)
+{
+    if (obj == Py_None || PyBool_Check(obj)) {
+        *out = 1;
+        return 0;
+    }
+    if (PyLong_Check(obj) || PyFloat_Check(obj)) {
+        *out = 8;
+        return 0;
+    }
+    if (PyUnicode_Check(obj)) {
+        Py_ssize_t n;
+        if (PyUnicode_AsUTF8AndSize(obj, &n) == NULL)
+            return -1;
+        *out = (long long)n + 1;
+        return 0;
+    }
+    if (PyBytes_Check(obj)) {
+        *out = (long long)PyBytes_GET_SIZE(obj);
+        return 0;
+    }
+    if (PyByteArray_Check(obj)) {
+        *out = (long long)PyByteArray_GET_SIZE(obj);
+        return 0;
+    }
+    if (PyTuple_Check(obj) || PyList_Check(obj) || PyAnySet_Check(obj)) {
+        if (Py_EnterRecursiveCall(" in payload_size"))
+            return -1;
+        int rc = size_of_iterable(obj, out);
+        Py_LeaveRecursiveCall();
+        return rc;
+    }
+    if (PyDict_Check(obj)) {
+        if (Py_EnterRecursiveCall(" in payload_size"))
+            return -1;
+        long long total = 2;
+        Py_ssize_t pos = 0;
+        PyObject *key, *value;
+        int rc = 0;
+        while (rc == 0 && PyDict_Next(obj, &pos, &key, &value)) {
+            long long part;
+            rc = size_of(key, &part);
+            if (rc == 0) {
+                total += part;
+                rc = size_of(value, &part);
+                if (rc == 0)
+                    total += part;
+            }
+        }
+        Py_LeaveRecursiveCall();
+        if (rc < 0)
+            return -1;
+        *out = total;
+        return 0;
+    }
+    /* Dataclasses, __dict__ objects and repr-sized leftovers go through
+     * the pure reference implementation: identical by construction. */
+    PyObject *size = PyObject_CallOneArg(g_size_fallback, obj);
+    if (size == NULL)
+        return -1;
+    long long n = PyLong_AsLongLong(size);
+    Py_DECREF(size);
+    if (n == -1 && PyErr_Occurred())
+        return -1;
+    *out = n;
+    return 0;
+}
+
+static PyObject *
+accel_payload_size(PyObject *Py_UNUSED(module), PyObject *obj)
+{
+    if (check_registered() < 0)
+        return NULL;
+    long long n;
+    if (size_of(obj, &n) < 0)
+        return NULL;
+    return PyLong_FromLongLong(n);
+}
+
+static PyObject *
+accel_payload_size_cached(PyObject *Py_UNUSED(module), PyObject *const *args,
+                          Py_ssize_t nargs)
+{
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "payload_size_cached(memo, stats, payload)");
+        return NULL;
+    }
+    if (check_registered() < 0)
+        return NULL;
+    PyObject *memo = args[0];
+    PyObject *stats = args[1];
+    PyObject *payload = args[2];
+    if (!PyDict_Check(memo)) {
+        PyErr_SetString(PyExc_TypeError, "memo must be a dict");
+        return NULL;
+    }
+    PyObject *key = PyLong_FromVoidPtr(payload);
+    if (key == NULL)
+        return NULL;
+    PyObject *entry = PyDict_GetItemWithError(memo, key);
+    if (entry == NULL && PyErr_Occurred()) {
+        Py_DECREF(key);
+        return NULL;
+    }
+    if (entry != NULL && PyTuple_Check(entry) &&
+        PyTuple_GET_ITEM(entry, 0) == payload) {
+        Py_DECREF(key);
+        if (stats_inc(stats, s_size_cache_hits, 1) < 0)
+            return NULL;
+        return Py_NewRef(PyTuple_GET_ITEM(entry, 1));
+    }
+    long long n;
+    if (size_of(payload, &n) < 0) {
+        Py_DECREF(key);
+        return NULL;
+    }
+    PyObject *size = PyLong_FromLongLong(n);
+    if (size == NULL) {
+        Py_DECREF(key);
+        return NULL;
+    }
+    if (PyDict_GET_SIZE(memo) >= g_size_memo_limit) {
+        /* Evict the oldest entry (dict preserves insertion order). */
+        Py_ssize_t pos = 0;
+        PyObject *first_key, *first_value;
+        if (PyDict_Next(memo, &pos, &first_key, &first_value)) {
+            Py_INCREF(first_key);
+            int rc = PyDict_DelItem(memo, first_key);
+            Py_DECREF(first_key);
+            if (rc < 0) {
+                Py_DECREF(key);
+                Py_DECREF(size);
+                return NULL;
+            }
+        }
+    }
+    PyObject *pair = PyTuple_Pack(2, payload, size);
+    if (pair == NULL) {
+        Py_DECREF(key);
+        Py_DECREF(size);
+        return NULL;
+    }
+    int rc = PyDict_SetItem(memo, key, pair);
+    Py_DECREF(pair);
+    Py_DECREF(key);
+    if (rc < 0) {
+        Py_DECREF(size);
+        return NULL;
+    }
+    if (stats_inc(stats, s_size_cache_misses, 1) < 0) {
+        Py_DECREF(size);
+        return NULL;
+    }
+    return size;
+}
+
+/* ------------------------------------------------------------------ */
+/* register(): wire in the shared objects                              */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+accel_register(PyObject *Py_UNUSED(module), PyObject *args, PyObject *kwds)
+{
+    PyObject *fired, *sim_error, *sim_timeout, *size_fallback;
+    Py_ssize_t size_memo_limit;
+    static char *kwlist[] = {"fired", "simulation_error", "simulation_timeout",
+                             "payload_size_fallback", "size_memo_limit", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "$OOOOn", kwlist, &fired,
+                                     &sim_error, &sim_timeout, &size_fallback,
+                                     &size_memo_limit))
+        return NULL;
+    Py_INCREF(fired);
+    Py_XSETREF(g_fired, fired);
+    Py_INCREF(sim_error);
+    Py_XSETREF(g_sim_error, sim_error);
+    Py_INCREF(sim_timeout);
+    Py_XSETREF(g_sim_timeout, sim_timeout);
+    Py_INCREF(size_fallback);
+    Py_XSETREF(g_size_fallback, size_fallback);
+    g_size_memo_limit = size_memo_limit;
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* Module                                                              */
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef accel_methods[] = {
+    {"register", (PyCFunction)(void (*)(void))accel_register,
+     METH_VARARGS | METH_KEYWORDS,
+     "register(*, fired, simulation_error, simulation_timeout, "
+     "payload_size_fallback, size_memo_limit): install shared objects"},
+    {"canonical_bytes", accel_canonical_bytes, METH_O,
+     "deterministic payload serialization (byte-identical to pure)"},
+    {"payload_size", accel_payload_size, METH_O,
+     "structural payload size estimate (identical to pure)"},
+    {"payload_size_cached",
+     (PyCFunction)(void (*)(void))accel_payload_size_cached, METH_FASTCALL,
+     "payload_size_cached(memo, stats, payload): bounded identity memo"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef accel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro._core._accel",
+    .m_doc = "compiled backend of the simulation hot path",
+    .m_size = -1,
+    .m_methods = accel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__accel(void)
+{
+    s_messages_sent = PyUnicode_InternFromString("messages_sent");
+    s_messages_delivered = PyUnicode_InternFromString("messages_delivered");
+    s_bytes_sent = PyUnicode_InternFromString("bytes_sent");
+    s_size_cache_hits = PyUnicode_InternFromString("size_cache_hits");
+    s_size_cache_misses = PyUnicode_InternFromString("size_cache_misses");
+    s_delay = PyUnicode_InternFromString("delay");
+    s_signing_fields = PyUnicode_InternFromString("signing_fields");
+    s_name = PyUnicode_InternFromString("__name__");
+    if (s_messages_sent == NULL || s_messages_delivered == NULL ||
+        s_bytes_sent == NULL || s_size_cache_hits == NULL ||
+        s_size_cache_misses == NULL || s_delay == NULL ||
+        s_signing_fields == NULL || s_name == NULL)
+        return NULL;
+    if (PyType_Ready(&SimCore_Type) < 0 || PyType_Ready(&CDeliver_Type) < 0 ||
+        PyType_Ready(&NetCore_Type) < 0)
+        return NULL;
+    PyObject *module = PyModule_Create(&accel_module);
+    if (module == NULL)
+        return NULL;
+    if (PyModule_AddObjectRef(module, "SimCore", (PyObject *)&SimCore_Type) <
+            0 ||
+        PyModule_AddObjectRef(module, "NetCore", (PyObject *)&NetCore_Type) <
+            0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

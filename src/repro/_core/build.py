@@ -1,0 +1,111 @@
+"""Build the optional compiled backend in place.
+
+``python -m repro._core.build`` compiles ``repro._core._accel`` from
+``_accel.c`` and drops the shared object next to it, so the next
+interpreter start auto-detects it (see :mod:`repro._core`).  It needs a
+C toolchain and the CPython headers; environments without one simply
+stay on the pure backend — nothing in the repository *requires* the
+extension.
+
+Exit status: 0 on a successful build (verified by importing the result
+in a subprocess), 1 on failure.  ``--check`` skips building and only
+reports whether the extension is currently importable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SOURCE = _HERE / "_accel.c"
+
+#: Verifying the build means importing it in a *fresh* interpreter: this
+#: process may already hold a pure-backend repro._core.
+_VERIFY = (
+    "import repro._core as c; "
+    "raise SystemExit(0 if c.HAVE_ACCEL else 1)"
+)
+
+
+def extension_path() -> Path:
+    """Where the in-place shared object lands for this interpreter."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return _HERE / f"_accel{suffix}"
+
+
+def have_extension() -> bool:
+    return extension_path().exists()
+
+
+def build(verbose: bool = False) -> bool:
+    """Compile the extension in place; returns True on success."""
+    repo_root = _HERE.parent.parent.parent
+    cmd = [
+        sys.executable,
+        str(repo_root / "setup.py"),
+        "build_ext",
+        "--inplace",
+    ]
+    result = subprocess.run(
+        cmd,
+        cwd=repo_root,
+        capture_output=not verbose,
+        text=True,
+    )
+    if result.returncode != 0:
+        if not verbose:
+            sys.stderr.write(result.stdout or "")
+            sys.stderr.write(result.stderr or "")
+        return False
+    verify = subprocess.run(
+        [sys.executable, "-c", _VERIFY],
+        cwd=repo_root,
+        env={"PYTHONPATH": str(repo_root / "src"), "REPRO_ACCEL": "1"},
+        capture_output=True,
+        text=True,
+    )
+    if verify.returncode != 0:
+        sys.stderr.write(verify.stderr or "")
+        return False
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro._core.build",
+        description="build the compiled simulation backend in place",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="only report whether the extension is already built",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="show compiler output"
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        if have_extension():
+            print(f"compiled backend present: {extension_path()}")
+            return 0
+        print("compiled backend not built")
+        return 1
+    if not _SOURCE.exists():
+        print(f"missing source file {_SOURCE}", file=sys.stderr)
+        return 1
+    if build(verbose=args.verbose):
+        print(f"built {extension_path()}")
+        return 0
+    print(
+        "build failed; the pure-Python backend remains fully functional",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,19 @@ needs no secret — it goes through the registry, mirroring public keys.
 The scheme is HMAC-like (SHA-256 over secret || canonical message bytes).
 It is *not* cryptographically meaningful outside the simulation and is not
 intended to be; see DESIGN.md's substitution table.
+
+The two hot primitives — canonical serialization and the HMAC digest —
+live in the pluggable backend layer (:mod:`repro._core`): the pure-Python
+reference always exists, and the optional compiled extension serializes
+byte-identically.  On top of either backend the registry layers two
+pure-Python wins:
+
+* a bounded :class:`repro._core.CanonicalMemo` keyed on payload
+  *identity* (safe lifetime: entries pin their payload, hits require an
+  ``is`` check), so signing and re-verifying the same payload object
+  serializes it once;
+* batched :meth:`KeyRegistry.verify_all`, which canonicalizes and hashes
+  the payload once per certificate instead of once per signature.
 """
 
 from __future__ import annotations
@@ -18,58 +31,21 @@ from __future__ import annotations
 import hashlib
 import hmac
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
 
-__all__ = ["KeyRegistry", "Signature", "Signer", "canonical_bytes"]
+from .._core import CanonicalMemo, canonical_bytes, hmac_sha256
+
+__all__ = [
+    "KeyRegistry",
+    "Signature",
+    "Signer",
+    "canonical_bytes",
+    "crypto_reference_mode",
+]
 
 ProcessId = int
-
-
-def canonical_bytes(obj: Any) -> bytes:
-    """Deterministically serialize a message payload for signing.
-
-    Supports the value types protocol messages are built from: ``None``,
-    ``bool``, ``int``, ``float``, ``str``, ``bytes``, tuples/lists, frozensets
-    (sorted by serialization), dicts (sorted by key serialization), and any
-    object exposing ``signing_fields()`` (the protocol dataclasses).
-    Type tags prevent cross-type collisions such as ``1`` vs ``"1"``.
-    """
-    if obj is None:
-        return b"N"
-    if isinstance(obj, bool):
-        return b"B1" if obj else b"B0"
-    if isinstance(obj, int):
-        data = str(obj).encode()
-        return b"I" + len(data).to_bytes(4, "big") + data
-    if isinstance(obj, float):
-        data = repr(obj).encode()
-        return b"F" + len(data).to_bytes(4, "big") + data
-    if isinstance(obj, str):
-        data = obj.encode()
-        return b"S" + len(data).to_bytes(4, "big") + data
-    if isinstance(obj, bytes):
-        return b"Y" + len(obj).to_bytes(4, "big") + obj
-    if isinstance(obj, (tuple, list)):
-        parts = [canonical_bytes(item) for item in obj]
-        body = b"".join(parts)
-        return b"T" + len(parts).to_bytes(4, "big") + body
-    if isinstance(obj, (set, frozenset)):
-        parts = sorted(canonical_bytes(item) for item in obj)
-        body = b"".join(parts)
-        return b"E" + len(parts).to_bytes(4, "big") + body
-    if isinstance(obj, dict):
-        items = sorted(
-            (canonical_bytes(k), canonical_bytes(v)) for k, v in obj.items()
-        )
-        body = b"".join(k + v for k, v in items)
-        return b"D" + len(items).to_bytes(4, "big") + body
-    fields = getattr(obj, "signing_fields", None)
-    if callable(fields):
-        tag = type(obj).__name__.encode()
-        body = canonical_bytes(fields())
-        return b"O" + len(tag).to_bytes(2, "big") + tag + body
-    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
 
 
 @dataclass(frozen=True)
@@ -90,18 +66,25 @@ class Signature:
 class Signer:
     """Signing capability for one process.  Hand it only to its owner."""
 
-    def __init__(self, pid: ProcessId, secret: bytes) -> None:
+    def __init__(
+        self,
+        pid: ProcessId,
+        secret: bytes,
+        canonical: Callable[[Any], bytes] = canonical_bytes,
+    ) -> None:
         self._pid = pid
         self._secret = secret
+        #: The registry's canonical serializer (its memo when enabled),
+        #: so a leader that signs a payload and immediately verifies
+        #: relayed signatures over it serializes the object once.
+        self._canonical = canonical
 
     @property
     def pid(self) -> ProcessId:
         return self._pid
 
     def sign(self, payload: Any) -> Signature:
-        digest = hmac.new(
-            self._secret, canonical_bytes(payload), hashlib.sha256
-        ).digest()
+        digest = hmac_sha256(self._secret, self._canonical(payload))
         return Signature(signer=self._pid, digest=digest)
 
 
@@ -130,12 +113,34 @@ class KeyRegistry:
     one is evicted (counted in ``cache_evictions``) instead of growing —
     or, as before this cap, periodically dropping the whole cache, which
     threw away exactly the hot certificate entries the memo exists for.
+
+    On top of that sit the canonicalization fast paths (both optional,
+    for apples-to-apples reference measurements in E20):
+
+    * ``canonical_memo`` — serialize a payload *object* once across
+      sign/verify/verify_all (bounded, identity-keyed, safe lifetime);
+    * ``batch_verify`` — :meth:`verify_all` canonicalizes and hashes the
+      payload once per call instead of once per signature.
     """
 
     #: Entries kept before least-recently-used eviction kicks in.
     CACHE_LIMIT = 1 << 16
 
-    def __init__(self, domain: bytes = b"repro-fbft") -> None:
+    #: Bound of the canonical-serialization memo (payload objects pinned).
+    CANONICAL_MEMO_LIMIT = 256
+
+    #: Constructor defaults, overridable per instance and flipped
+    #: globally by :func:`crypto_reference_mode` for E20 reference rows.
+    DEFAULT_CANONICAL_MEMO = True
+    DEFAULT_BATCH_VERIFY = True
+
+    def __init__(
+        self,
+        domain: bytes = b"repro-fbft",
+        *,
+        canonical_memo: Optional[bool] = None,
+        batch_verify: Optional[bool] = None,
+    ) -> None:
         self._domain = domain
         self._secrets: Dict[ProcessId, bytes] = {}
         #: (signer, signature digest) -> sha256 of the canonical payload
@@ -147,6 +152,23 @@ class KeyRegistry:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        #: Batched verify_all invocations (hit-counter coverage for E20).
+        self.batch_verifies = 0
+        if canonical_memo is None:
+            canonical_memo = type(self).DEFAULT_CANONICAL_MEMO
+        if batch_verify is None:
+            batch_verify = type(self).DEFAULT_BATCH_VERIFY
+        self._canonical_memo: Optional[CanonicalMemo] = (
+            CanonicalMemo(self.CANONICAL_MEMO_LIMIT, canonical_bytes)
+            if canonical_memo
+            else None
+        )
+        self._canonical: Callable[[Any], bytes] = (
+            self._canonical_memo.get
+            if self._canonical_memo is not None
+            else canonical_bytes
+        )
+        self._batch_verify = bool(batch_verify)
 
     @classmethod
     def for_processes(
@@ -170,34 +192,111 @@ class KeyRegistry:
     def process_ids(self) -> Tuple[ProcessId, ...]:
         return tuple(sorted(self._secrets))
 
+    @property
+    def canonical_hits(self) -> int:
+        """Canonical-memo hits (0 when the memo is disabled)."""
+        memo = self._canonical_memo
+        return memo.hits if memo is not None else 0
+
+    @property
+    def canonical_misses(self) -> int:
+        """Canonical-memo misses (0 when the memo is disabled)."""
+        memo = self._canonical_memo
+        return memo.misses if memo is not None else 0
+
     def signer(self, pid: ProcessId) -> Signer:
         """Return the signing capability of ``pid`` (private: owner only)."""
         if pid not in self._secrets:
             raise KeyError(f"no key for process {pid}")
-        return Signer(pid, self._secrets[pid])
+        return Signer(pid, self._secrets[pid], self._canonical)
 
     def verify(self, signature: Signature, payload: Any) -> bool:
         """Check that ``signature`` is ``signer``'s signature over ``payload``."""
         secret = self._secrets.get(signature.signer)
         if secret is None:
             return False
-        message = canonical_bytes(payload)
+        return self._verify_message(
+            signature, secret, self._canonical(payload), None
+        )
+
+    def _verify_message(
+        self,
+        signature: Signature,
+        secret: bytes,
+        message: bytes,
+        msg_hash: Optional[bytes],
+    ) -> bool:
+        """Verify one signature over pre-canonicalized ``message`` bytes.
+
+        ``msg_hash`` is the batch-level sha256 of ``message`` when the
+        caller already computed it (verify_all), else it is derived
+        lazily — only the paths that actually compare or store a payload
+        hash pay for it.
+        """
         key = (signature.signer, signature.digest)
         cached = self._verify_cache.get(key)
         if cached is not None:
             self.cache_hits += 1
             self._verify_cache.move_to_end(key)
-            return hmac.compare_digest(cached, hashlib.sha256(message).digest())
+            if msg_hash is None:
+                msg_hash = hashlib.sha256(message).digest()
+            return hmac.compare_digest(cached, msg_hash)
         self.cache_misses += 1
-        expected = hmac.new(secret, message, hashlib.sha256).digest()
+        expected = hmac_sha256(secret, message)
         valid = hmac.compare_digest(expected, signature.digest)
         if valid:
             while len(self._verify_cache) >= self.CACHE_LIMIT:
                 self._verify_cache.popitem(last=False)
                 self.cache_evictions += 1
-            self._verify_cache[key] = hashlib.sha256(message).digest()
+            if msg_hash is None:
+                msg_hash = hashlib.sha256(message).digest()
+            self._verify_cache[key] = msg_hash
         return valid
 
     def verify_all(self, signatures: Iterable[Signature], payload: Any) -> bool:
-        """Check every signature in the set verifies over ``payload``."""
-        return all(self.verify(sig, payload) for sig in signatures)
+        """Check every signature in the set verifies over ``payload``.
+
+        Batched: the payload is canonicalized and hashed **once per
+        call**, not once per signature — a certificate's 2f+1 signatures
+        share one serialization.  Short-circuits on the first failure,
+        exactly like the ``all()`` loop it replaces.
+        """
+        if not self._batch_verify:
+            return all(self.verify(sig, payload) for sig in signatures)
+        self.batch_verifies += 1
+        message: Optional[bytes] = None
+        msg_hash: Optional[bytes] = None
+        for signature in signatures:
+            secret = self._secrets.get(signature.signer)
+            if secret is None:
+                return False
+            if message is None:
+                message = self._canonical(payload)
+                msg_hash = hashlib.sha256(message).digest()
+            if not self._verify_message(signature, secret, message, msg_hash):
+                return False
+        return True
+
+
+@contextmanager
+def crypto_reference_mode() -> Iterator[None]:
+    """Disable the canonical memo and batched verification for registries
+    constructed inside the context.
+
+    This is the measuring stick for E20's ``reference`` rows: the
+    reference workloads must run the pre-optimization crypto path
+    (per-signature canonicalization, no identity memo) without keeping a
+    forked copy of the registry around.  Results are value-identical
+    either way — only the constant factor changes.
+    """
+    previous = (
+        KeyRegistry.DEFAULT_CANONICAL_MEMO,
+        KeyRegistry.DEFAULT_BATCH_VERIFY,
+    )
+    KeyRegistry.DEFAULT_CANONICAL_MEMO = False
+    KeyRegistry.DEFAULT_BATCH_VERIFY = False
+    try:
+        yield
+    finally:
+        KeyRegistry.DEFAULT_CANONICAL_MEMO = previous[0]
+        KeyRegistry.DEFAULT_BATCH_VERIFY = previous[1]

@@ -13,15 +13,20 @@ sequence number, so two runs with the same inputs produce the same event
 order, byte for byte.
 
 The queue is the hottest data structure in the repository — every message
-of every run passes through it — so its representation is chosen for
-constant-factor speed, not beauty:
+of every run passes through it — so its implementation lives in the
+pluggable backend layer :mod:`repro._core`, which provides two
+byte-for-byte interchangeable cores selected at import time:
 
-* each queued event is a plain ``[time, seq, callback]`` list.  Lists
-  compare element-wise in C, so ``heappush``/``heappop`` never call back
-  into Python-level comparison code (the ``seq`` tie-breaker is unique,
-  so the callback element is never compared);
-* cancellation overwrites the callback slot with ``None`` in place — no
-  tombstone objects, no handle needed at dispatch time;
+* the pure-Python reference (:mod:`repro._core.pure`): each queued event
+  is a plain ``[time, seq, callback]`` list (lists compare element-wise
+  in C), cancellation overwrites the callback slot with ``None`` in
+  place, and the drain/run loops live behind small tight functions;
+* the optional compiled extension (``repro._core._accel``,
+  ``REPRO_ACCEL=0|1`` override): the same entries and the same order,
+  with the heap, the drain loop and the bound checks in C.
+
+Shared structural choices, whichever backend runs:
+
 * :meth:`Simulator.post` schedules a bare callback with no handle and no
   label at all: the network's delivery hot path goes through it;
 * handles (:class:`EventHandle`) are ``__slots__`` objects created only
@@ -31,11 +36,11 @@ constant-factor speed, not beauty:
 * cancelled entries are counted, and when they outnumber the live ones
   the queue is compacted in place (filter + ``heapify``), so mass timer
   churn (per-slot SMR timers arm and cancel thousands) cannot bloat every
-  subsequent ``heappush``.
+  subsequent push.
 
 None of this changes the execution order: events still fire in strict
 ``(time, seq)`` order, and the golden-trace digests in
-``tests/golden/scenario_digests.json`` pin that down.
+``tests/golden/scenario_digests.json`` pin that down — for both backends.
 """
 
 from __future__ import annotations
@@ -43,8 +48,14 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Union
 
+from .. import _core
+from .._core import FIRED as _FIRED
+from .._core import SimulationError, SimulationTimeout
+from .._core import pure as _pure
+
 __all__ = [
     "EventHandle",
+    "PurePySimulator",
     "Simulator",
     "SimulationError",
     "SimulationTimeout",
@@ -55,27 +66,12 @@ __all__ = [
 Label = Union[str, Callable[[], str]]
 
 
-class SimulationError(Exception):
-    """Base class for errors raised by the simulation core."""
-
-
-class SimulationTimeout(SimulationError):
-    """Raised by :meth:`Simulator.run_until` when the predicate never holds."""
-
-
-#: Stamped into an entry's callback slot once it has been executed, so a
-#: late ``cancel()`` on a handle whose event already fired is a no-op
-#: instead of corrupting the cancelled-entry accounting (the entry is no
-#: longer in the queue, so it must not count toward compaction).
-_FIRED: Any = object()
-
-
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`, used to cancel events."""
 
     __slots__ = ("_entry", "_label", "_sim")
 
-    def __init__(self, entry: List[Any], label: Label, sim: "Simulator") -> None:
+    def __init__(self, entry: List[Any], label: Label, sim: Any) -> None:
         self._entry = entry
         self._label = label
         self._sim = sim
@@ -104,10 +100,10 @@ class EventHandle:
             self._sim._note_cancel()
 
 
-class Simulator:
-    """A deterministic discrete-event simulator.
+class PurePySimulator:
+    """A deterministic discrete-event simulator (pure-Python backend).
 
-    >>> sim = Simulator()
+    >>> sim = PurePySimulator()
     >>> fired = []
     >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
     >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
@@ -217,23 +213,13 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify.
-
-        Heap order is a function of the ``(time, seq)`` keys only, so
-        rebuilding the heap from the surviving entries cannot perturb the
-        pop order — determinism is unaffected.  The rebuild is in place
-        (slice assignment): the run loops hold a direct reference to the
-        queue list, and a cancel from inside a callback must not strand
-        them on a stale copy.
-        """
-        queue = self._queue
-        queue[:] = [entry for entry in queue if entry[2] is not None]
-        heapq.heapify(queue)
+        """Drop cancelled entries and re-heapify (see ``_core.pure.compact``)."""
+        _pure.compact(self._queue)
         self._cancelled = 0
         self._compactions += 1
 
     # ------------------------------------------------------------------
-    # Execution
+    # Execution (delegated to the backend loop functions)
     # ------------------------------------------------------------------
 
     def step(self) -> bool:
@@ -242,19 +228,7 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the queue
         was empty.  Cancelled events are skipped silently.
         """
-        queue = self._queue
-        while queue:
-            entry = heapq.heappop(queue)
-            callback = entry[2]
-            if callback is None:
-                self._cancelled -= 1
-                continue
-            entry[2] = _FIRED
-            self._now = entry[0]
-            self._events_processed += 1
-            callback()
-            return True
-        return False
+        return _pure.step(self)
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events in order.
@@ -264,46 +238,10 @@ class Simulator:
         ``max_events`` bounds the number of events executed — a guard
         against runaway protocols in tests.
         """
-        queue = self._queue
-        heappop = heapq.heappop
         if until is None and max_events is None:
-            # Unbounded drain: the common case, with no per-event bound
-            # checks and no peek-then-pop double touch.
-            while queue:
-                entry = heappop(queue)
-                callback = entry[2]
-                if callback is None:
-                    self._cancelled -= 1
-                    continue
-                entry[2] = _FIRED
-                self._now = entry[0]
-                self._events_processed += 1
-                callback()
-            return
-        executed = 0
-        while queue:
-            entry = queue[0]
-            callback = entry[2]
-            if callback is None:
-                heappop(queue)
-                self._cancelled -= 1
-                continue
-            time = entry[0]
-            if until is not None and time > until:
-                self._now = max(self._now, until)
-                return
-            if max_events is not None and executed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at time {self._now}"
-                )
-            heappop(queue)
-            entry[2] = _FIRED
-            self._now = time
-            self._events_processed += 1
-            executed += 1
-            callback()
-        if until is not None:
-            self._now = max(self._now, until)
+            _pure.drain(self)
+        else:
+            _pure.run_bounded(self, until, max_events)
 
     def run_until(
         self,
@@ -316,37 +254,122 @@ class Simulator:
         Raises :class:`SimulationTimeout` if the event queue drains or the
         simulated ``timeout`` passes without the predicate holding.
         """
-        queue = self._queue
-        heappop = heapq.heappop
-        executed = 0
-        if predicate():
-            return self._now
-        while queue:
-            entry = queue[0]
-            callback = entry[2]
-            if callback is None:
-                heappop(queue)
-                self._cancelled -= 1
-                continue
-            time = entry[0]
-            if time > timeout:
-                break
-            if executed >= max_events:
+        return _pure.run_pred(self, predicate, timeout, max_events)
+
+
+if _core.HAVE_ACCEL:
+
+    class AccelSimulator:
+        """The same simulator, with the heap and the loops in C.
+
+        Public surface and semantics are identical to
+        :class:`PurePySimulator` — same entry representation (plain
+        ``[time, seq, callback]`` lists, so :class:`EventHandle` works
+        unchanged), same ``(time, seq)`` order, same exception types and
+        messages.  The hot state (heap, sequence counter, clock,
+        compaction accounting) lives in a ``repro._core._accel.SimCore``
+        so the drain loop never re-enters the interpreter between
+        callbacks.
+        """
+
+        _COMPACT_MIN = 64
+
+        def __init__(self) -> None:
+            core = _core.accel.SimCore(self._COMPACT_MIN)
+            #: The C core; ``repro.sim.network`` detects this attribute
+            #: and routes its fast-path sends through it.
+            self._simcore = core
+            # Bind the C methods as instance attributes: `sim.post(...)`
+            # and handle cancellation reach C without a Python frame.
+            self.post = core.post
+            self._note_cancel = core.note_cancel
+
+        # -- clock / introspection ---------------------------------------
+
+        @property
+        def now(self) -> float:
+            return self._simcore.now
+
+        @property
+        def _now(self) -> float:
+            # The network hot path reads `sim._now` directly; keep the
+            # private spelling alive on the accel backend too.
+            return self._simcore.now
+
+        @property
+        def events_processed(self) -> int:
+            return self._simcore.events_processed
+
+        @property
+        def pending_events(self) -> int:
+            return self._simcore.pending_events
+
+        @property
+        def queue_depth(self) -> int:
+            return self._simcore.queue_depth
+
+        @property
+        def compactions(self) -> int:
+            return self._simcore.compactions
+
+        # -- scheduling ---------------------------------------------------
+
+        def schedule(
+            self,
+            delay: float,
+            callback: Callable[[], None],
+            label: Label = "",
+        ) -> EventHandle:
+            if delay < 0:
                 raise SimulationError(
-                    f"exceeded max_events={max_events} at time {self._now}"
+                    f"cannot schedule in the past: delay={delay}"
                 )
-            heappop(queue)
-            entry[2] = _FIRED
-            self._now = time
-            self._events_processed += 1
-            executed += 1
-            callback()
-            if predicate():
-                return self._now
-        raise SimulationTimeout(
-            f"predicate not satisfied by time {min(self._now, timeout)} "
-            f"({executed} events executed)"
-        )
+            core = self._simcore
+            return EventHandle(core.push(core.now + delay, callback), label, self)
+
+        def schedule_at(
+            self,
+            time: float,
+            callback: Callable[[], None],
+            label: Label = "",
+        ) -> EventHandle:
+            return EventHandle(self._simcore.push(time, callback), label, self)
+
+        # -- execution ----------------------------------------------------
+
+        def _compact(self) -> None:
+            self._simcore.compact()
+
+        def step(self) -> bool:
+            return self._simcore.step()
+
+        def run(
+            self,
+            until: Optional[float] = None,
+            max_events: Optional[int] = None,
+        ) -> None:
+            if until is None and max_events is None:
+                self._simcore.drain()
+            else:
+                self._simcore.run_bounded(until, max_events)
+
+        def run_until(
+            self,
+            predicate: Callable[[], bool],
+            timeout: float = 1_000_000.0,
+            max_events: int = 10_000_000,
+        ) -> float:
+            return self._simcore.run_pred(predicate, timeout, max_events)
+
+    __all__.append("AccelSimulator")
+
+
+#: The repository-wide simulator implementation, selected at import time
+#: by :mod:`repro._core` (``REPRO_ACCEL=0|1`` overrides auto-detection).
+if _core.BACKEND == "accel":
+    Simulator = AccelSimulator  # type: ignore[assignment]
+else:
+    Simulator = PurePySimulator  # type: ignore[assignment,misc]
 
 
 def run_simulation(setup: Callable[[Simulator], Any], until: float) -> Any:

@@ -33,19 +33,26 @@ declarative fault primitives (used by the scenario engine in
 
 The transport itself is the hottest code in the repository: every message
 of every experiment passes through :meth:`Network.send`.  When no rules,
-interceptor or partition are active, sends take a zero-overhead fast path
-— no rule loop, no envelope re-timing, no per-delivery label, and the
-delivery callback is posted straight onto the simulator with
-:func:`functools.partial` instead of a fresh closure.  Envelopes are
-``NamedTuple`` instances (constructed in C), the registered-pid tuple used
-by :meth:`Network.broadcast` is cached across calls, payload sizes are
-memoized by object identity, and the per-delivery log is opt-in
+interceptor, partition, tracer, send hook or delivery log are active,
+sends take a zero-overhead fast path — no rule loop, no envelope
+re-timing, no per-delivery label, and the delivery callback is posted
+straight onto the simulator with :func:`functools.partial` instead of a
+fresh closure.  Envelopes are ``NamedTuple`` instances (constructed in
+C), the registered-pid tuple used by :meth:`Network.broadcast` is cached
+across calls, payload sizes are memoized by object identity through the
+bounded memo in :mod:`repro._core`, and the per-delivery log is opt-in
 (``record_deliveries=True``) because nothing outside the tests reads it.
+
+The sizing, fast delivery and (on the compiled backend) the entire
+fast-path send live in the pluggable backend layer :mod:`repro._core`:
+when the simulator carries a C core and nothing slow is active, the send
+itself runs in the extension (``NetCore.send``) and the pure path is
+never entered.  Both paths produce identical envelopes, identical stats
+and identical delivery order — the golden trace digests pin it.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import math
 from dataclasses import dataclass, field
 from random import Random
@@ -64,6 +71,8 @@ from typing import (
     Tuple,
 )
 
+from .. import _core
+from .._core import payload_size
 from .events import Simulator
 
 __all__ = [
@@ -200,40 +209,10 @@ class Envelope(NamedTuple):
 Interceptor = Callable[[Envelope], Optional[float]]
 
 
-def payload_size(payload: Any) -> int:
-    """Deterministic structural size estimate of a payload, in bytes.
-
-    The simulation never serializes messages, so "bytes on the wire" is a
-    model, not a measurement: primitives cost their natural width, strings
-    and bytes their length, and containers/dataclasses a small framing
-    overhead plus the recursive cost of their fields.  The estimate is
-    stable across runs and platforms, which is what the bandwidth-style
-    metrics (``NetworkStats.bytes_sent``) need.
-    """
-    if payload is None or isinstance(payload, bool):
-        return 1
-    if isinstance(payload, int):
-        return 8
-    if isinstance(payload, float):
-        return 8
-    if isinstance(payload, str):
-        return len(payload.encode("utf-8")) + 1
-    if isinstance(payload, (bytes, bytearray)):
-        return len(payload)
-    if isinstance(payload, (tuple, list, set, frozenset)):
-        return 2 + sum(payload_size(item) for item in payload)
-    if isinstance(payload, dict):
-        return 2 + sum(
-            payload_size(k) + payload_size(v) for k, v in payload.items()
-        )
-    if dataclasses.is_dataclass(payload):
-        return 2 + sum(
-            payload_size(getattr(payload, f.name))
-            for f in dataclasses.fields(payload)
-        )
-    if hasattr(payload, "__dict__"):
-        return 2 + sum(payload_size(v) for v in vars(payload).values())
-    return len(repr(payload))
+# payload_size is implemented by the backend layer (repro._core.pure is
+# the reference; the compiled extension must match it byte for byte) and
+# re-exported here because the digest, analysis and test layers import it
+# from this module.
 
 
 @dataclass(frozen=True)
@@ -302,15 +281,15 @@ class NetworkStats:
     messages_delivered: int = 0
     bytes_sent: int = 0
     messages_held: int = 0
-    #: Payload-size memo effectiveness (see ``Network._payload_size_cached``).
+    #: Payload-size memo effectiveness (see ``_core.payload_size_cached``).
     size_cache_hits: int = 0
     size_cache_misses: int = 0
 
 
-#: Entries kept in the payload-size memo before it is wiped.  Broadcasts
-#: repopulate it in one miss per distinct payload, so a small bound keeps
-#: the strong references (and the id-reuse window) negligible.
-_SIZE_MEMO_LIMIT = 16
+#: Entries kept in the payload-size memo before oldest-first eviction
+#: (see ``repro._core.pure.payload_size_cached`` for the safe-keying
+#: contract).  Kept as a module name for the memo tests.
+_SIZE_MEMO_LIMIT = _core.SIZE_MEMO_LIMIT
 
 
 class Network:
@@ -332,14 +311,15 @@ class Network:
         delay_model: Optional[DelayModel] = None,
         interceptor: Optional[Interceptor] = None,
         record_deliveries: bool = False,
+        fast_paths: bool = True,
     ) -> None:
         self.sim = sim
         self._post = sim.post  # bound once: called on every send
-        #: Bound once as well — ``partial(self._deliver_fast, ...)`` would
-        #: otherwise allocate a fresh bound method per send.
-        self._deliver_ref = self._deliver_fast
         self.stats = NetworkStats()
         self._handlers: Dict[ProcessId, Callable[[ProcessId, Any], None]] = {}
+        #: Bound once — the zero-rule delivery callback from the backend
+        #: layer; ``partial(self._deliver_ref, ...)`` posts it per send.
+        self._deliver_ref = _core.make_deliver(self._handlers, self.stats)
         self._delivery_log: Optional[List[Envelope]] = (
             [] if record_deliveries else None
         )
@@ -350,9 +330,24 @@ class Network:
         self._rule_index: Dict[str, Tuple[DelayRule, ...]] = {}
         self._partition: Optional[Tuple[FrozenSet[ProcessId], ...]] = None
         self._held: List[Envelope] = []
+        #: ``fast_paths=False`` is the measurement baseline for E20: it
+        #: pins the reference delivery path (per-delivery envelope
+        #: scheduling, uncached payload sizing, no compiled net core) so
+        #: the optimized paths have something honest to be compared
+        #: against.  Production code never passes it.
+        self._fast_paths = fast_paths
         #: id(payload) -> (payload, size).  The strong reference keeps the
-        #: id valid for the lifetime of the entry.
+        #: id valid for the lifetime of the entry (safe keying: see
+        #: ``repro._core.pure.payload_size_cached``).
         self._size_memo: Dict[int, Tuple[Any, int]] = {}
+        #: The backend's bounded identity-keyed size memo.
+        self._size_fn: Callable[[Any], int]
+        if fast_paths:
+            self._size_fn = partial(
+                _core.payload_size_cached, self._size_memo, self.stats
+            )
+        else:
+            self._size_fn = _core.payload_size
         self._pid_cache: Optional[Tuple[ProcessId, ...]] = None
         #: With a fixed-delay model the per-send model call is replaced by
         #: one float addition (set by the ``delay_model`` setter).
@@ -364,6 +359,16 @@ class Network:
         #: Optional causal tracer (``repro.obs.tracing.CausalTracer``):
         #: ``None`` keeps the send/deliver hot paths untouched.
         self._tracer: Optional[Any] = None
+        #: Compiled fast-path send (``repro._core._accel.NetCore``), built
+        #: only when the simulator carries a C core; ``_rebind_send``
+        #: routes ``self._send`` to it while nothing slow is active.
+        self._netcore: Optional[Any] = None
+        simcore = getattr(sim, "_simcore", None) if fast_paths else None
+        if simcore is not None and _core.accel is not None:
+            self._netcore = _core.accel.NetCore(
+                simcore, self._handlers, self.stats, Envelope
+            )
+        self._send: Callable[..., Envelope] = self._send_general
         self._interceptor = interceptor
         self.delay_model = delay_model or SynchronousDelay()
         self._refresh_path()
@@ -382,6 +387,8 @@ class Network:
             self._fixed_delay = delta
         else:
             self._fixed_delay = None
+        if self._netcore is not None:
+            self._netcore.set_delay(self._fixed_delay, model)
 
     @property
     def interceptor(self) -> Optional[Interceptor]:
@@ -398,6 +405,28 @@ class Network:
             or self._interceptor is not None
             or self._partition is not None
         )
+        self._rebind_send()
+
+    def _rebind_send(self) -> None:
+        """Route ``self._send`` to the compiled fast path when eligible.
+
+        Eligible means: a C net core exists and nothing that needs the
+        general path is active — no re-timing machinery (``_slow``), no
+        tracer, no send hooks, no delivery log.  Every mutator of those
+        conditions calls back here, so the dispatch is one attribute
+        read per send instead of four condition tests.
+        """
+        core = self._netcore
+        if (
+            core is not None
+            and not self._slow
+            and self._tracer is None
+            and not self._send_hooks
+            and self._delivery_log is None
+        ):
+            self._send = core.send
+        else:
+            self._send = self._send_general
 
     # ------------------------------------------------------------------
     # Registration
@@ -426,6 +455,7 @@ class Network:
     def add_send_hook(self, hook: Callable[[Envelope], None]) -> None:
         """Observe every send (used by the trace recorder)."""
         self._send_hooks.append(hook)
+        self._rebind_send()
 
     def install_tracer(self, tracer: Optional[Any]) -> None:
         """Install (or remove, with ``None``) a causal tracer.
@@ -435,6 +465,7 @@ class Network:
         run produces the same trace digest as an untraced one.
         """
         self._tracer = tracer
+        self._rebind_send()
 
     # ------------------------------------------------------------------
     # Declarative fault primitives: delay rules and partitions
@@ -546,13 +577,15 @@ class Network:
 
     def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> Envelope:
         """Send ``payload`` from ``src`` to ``dst``; returns the envelope."""
-        return self._send(src, dst, payload, self._payload_size_cached(payload))
+        return self._send(src, dst, payload, self._size_fn(payload))
 
-    def _send(
+    def _send_general(
         self, src: ProcessId, dst: ProcessId, payload: Any, size: int
     ) -> Envelope:
-        """The transport hot path; ``size`` is pre-computed so broadcasts
-        account the payload once instead of probing the memo per recipient."""
+        """The pure-Python transport path; ``size`` is pre-computed so
+        broadcasts account the payload once instead of probing the memo
+        per recipient.  ``self._send`` points here unless the compiled
+        fast path is bound (see :meth:`_rebind_send`)."""
         if dst not in self._handlers:
             raise ValueError(f"unknown destination process {dst}")
         now = self.sim._now
@@ -587,7 +620,7 @@ class Network:
             stats.messages_held += 1
             self._held.append(envelope)
             return envelope
-        if tracer is None and self._delivery_log is None:
+        if tracer is None and self._delivery_log is None and self._fast_paths:
             self._post(deliver, partial(self._deliver_ref, dst, src, payload))
         else:
             # Tracing needs the envelope at delivery; the schedule keeps
@@ -618,23 +651,6 @@ class Network:
                 envelope = envelope._replace(deliver_time=override)
         return envelope
 
-    def _payload_size_cached(self, payload: Any) -> int:
-        """Identity-keyed memo: broadcasts account the same payload object
-        once per recipient without re-walking it, and interleaved
-        broadcasts of different payloads (client request + replica gossip
-        in the same tick) no longer thrash a single cache slot."""
-        memo = self._size_memo
-        entry = memo.get(id(payload))
-        if entry is not None and entry[0] is payload:
-            self.stats.size_cache_hits += 1
-            return entry[1]
-        size = payload_size(payload)
-        if len(memo) >= _SIZE_MEMO_LIMIT:
-            memo.clear()
-        memo[id(payload)] = (payload, size)
-        self.stats.size_cache_misses += 1
-        return size
-
     def _schedule_delivery(self, envelope: Envelope) -> None:
         self.sim.post(envelope.deliver_time, partial(self._deliver, envelope))
 
@@ -647,7 +663,7 @@ class Network:
         broadcast, and the destination list is the cached sorted pid
         tuple — nothing here is per-recipient except the send itself.
         """
-        size = self._payload_size_cached(payload)
+        size = self._size_fn(payload)
         send = self._send
         if include_self:
             return [send(src, dst, payload, size) for dst in self.process_ids]
@@ -660,14 +676,6 @@ class Network:
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
-
-    def _deliver_fast(self, dst: ProcessId, src: ProcessId, payload: Any) -> None:
-        """Hot-path delivery: no envelope, no log."""
-        handler = self._handlers.get(dst)
-        if handler is None:
-            return  # destination shut down after the message was sent
-        self.stats.messages_delivered += 1
-        handler(src, payload)
 
     def _deliver(self, envelope: Envelope) -> None:
         handler = self._handlers.get(envelope.dst)

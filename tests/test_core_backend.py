@@ -1,0 +1,565 @@
+"""Backend parity: repro._core.pure vs the compiled repro._core._accel.
+
+The pure module is the executable specification; the extension must be
+byte-for-byte equivalent — same event order, same time *types* (int
+times stay ints), same exception types and messages, same canonical
+serializations, same structural sizes, same stats counters.  These
+tests construct both simulator classes explicitly in one process, so
+they exercise the extension even when the ambient ``Simulator`` alias
+points at it already (and skip the compiled half cleanly when the
+extension is not built).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import _core
+from repro._core import pure
+from repro.crypto.keys import Signature
+from repro.sim.events import (
+    PurePySimulator,
+    SimulationError,
+    SimulationTimeout,
+)
+from repro.sim.network import (
+    Network,
+    NetworkStats,
+    RoundSynchronousDelay,
+    SynchronousDelay,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+needs_accel = pytest.mark.skipif(
+    not _core.HAVE_ACCEL, reason="compiled backend not built/loaded"
+)
+
+if _core.HAVE_ACCEL:
+    from repro.sim.events import AccelSimulator
+
+    SIMULATOR_CLASSES = [PurePySimulator, AccelSimulator]
+else:
+    SIMULATOR_CLASSES = [PurePySimulator]
+
+
+def accel_module():
+    assert _core.accel is not None
+    return _core.accel
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization + payload sizing
+# ---------------------------------------------------------------------------
+
+CANON_CORPUS = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    10**40,
+    -(10**40),
+    0.0,
+    -0.0,
+    1.5,
+    -2.75,
+    1e300,
+    5e-324,
+    "",
+    "hello",
+    "héllo wörld ☃",
+    b"",
+    b"\x00\xff raw",
+    (),
+    (1, "a", None),
+    [1, [2, [3]]],
+    {1, 2, 3},
+    frozenset({"a", "b"}),
+    {"b": 2, "a": 1},
+    {("k", 1): [True, None], "nested": {"x": b"y"}},
+    Signature(signer=3, digest=b"\x01" * 32),
+    ("msg", Signature(signer=0, digest=b"d"), {7: (8.5, "x")}),
+]
+
+
+class TestCanonicalParity:
+    @needs_accel
+    @pytest.mark.parametrize("value", CANON_CORPUS, ids=repr)
+    def test_corpus_serializes_identically(self, value):
+        assert accel_module().canonical_bytes(value) == pure.canonical_bytes(
+            value
+        )
+
+    @needs_accel
+    def test_protocol_messages_serialize_identically(self):
+        from repro.core.messages import Ack, Propose
+        from repro.crypto.keys import KeyRegistry
+
+        reg = KeyRegistry.for_processes(range(2))
+        tau = reg.signer(0).sign(("propose", "x", 1))
+        for msg in [Propose(value="x", view=1, cert=None, tau=tau), Ack("x", 1)]:
+            assert accel_module().canonical_bytes(msg) == pure.canonical_bytes(
+                msg
+            )
+
+    @needs_accel
+    def test_unsupported_type_error_matches(self):
+        probe = object()
+        with pytest.raises(TypeError) as pure_err:
+            pure.canonical_bytes(probe)
+        with pytest.raises(TypeError) as accel_err:
+            accel_module().canonical_bytes(probe)
+        assert str(accel_err.value) == str(pure_err.value)
+
+    def test_selected_alias_matches_reference(self):
+        # Whichever backend repro._core selected, the exported function
+        # must agree with the reference on the full corpus.
+        for value in CANON_CORPUS:
+            assert _core.canonical_bytes(value) == pure.canonical_bytes(value)
+
+
+class _Blob:
+    """An object payload sized via the ``__dict__`` fallback path."""
+
+    def __init__(self):
+        self.a = 1
+        self.b = "two"
+
+
+SIZE_CORPUS = CANON_CORPUS + [
+    bytearray(b"mutable"),
+    _Blob(),
+    Signature(signer=1, digest=b"sig"),  # dataclass -> fallback path
+    object(),  # repr-sized leftover
+]
+
+
+class TestPayloadSizeParity:
+    @needs_accel
+    @pytest.mark.parametrize(
+        "value", SIZE_CORPUS, ids=lambda v: type(v).__name__
+    )
+    def test_corpus_sizes_identically(self, value):
+        assert accel_module().payload_size(value) == pure.payload_size(value)
+
+    def test_selected_alias_matches_reference(self):
+        for value in SIZE_CORPUS:
+            assert _core.payload_size(value) == pure.payload_size(value)
+
+
+def _size_cached_impls():
+    impls = [pytest.param(pure.payload_size_cached, id="pure")]
+    if _core.HAVE_ACCEL:
+        impls.append(
+            pytest.param(_core.accel.payload_size_cached, id="accel")
+        )
+    return impls
+
+
+class TestSizeMemoSafety:
+    """The identity-keyed payload-size memo must survive CPython id reuse."""
+
+    @pytest.mark.parametrize("impl", _size_cached_impls())
+    def test_stale_entry_with_aliased_id_cannot_hit(self, impl):
+        """The regression the safe keying exists for: an entry whose id()
+        key aliases a *different* live object (as happens when a memo
+        without strong references outlives its payload) must miss."""
+        memo, stats = {}, NetworkStats()
+        stale_payload = ("old",)
+        fresh_payload = ("this", "is", "new")
+        memo[id(fresh_payload)] = (stale_payload, 999_999)
+        assert impl(memo, stats, fresh_payload) == pure.payload_size(
+            fresh_payload
+        )
+        assert stats.size_cache_hits == 0
+        assert stats.size_cache_misses == 1
+        # The stale entry was overwritten with a correct one.
+        assert memo[id(fresh_payload)][0] is fresh_payload
+
+    @pytest.mark.parametrize("impl", _size_cached_impls())
+    def test_id_reuse_under_churn_stays_correct(self, impl):
+        """Drive real id reuse: same-shape tuples die every iteration, so
+        CPython's allocator hands later payloads the ids of evicted dead
+        ones.  Sizes must stay correct throughout, and (on CPython) the
+        hazard must actually have occurred for the test to mean anything."""
+        memo, stats = {}, NetworkStats()
+        seen_ids = set()
+        reused = 0
+        for i in range(4000):
+            payload = ("key", "v" * (i % 3), i % 2 == 0)
+            if id(payload) in seen_ids:
+                reused += 1
+            assert impl(memo, stats, payload) == pure.payload_size(payload)
+            seen_ids.add(id(payload))
+            del payload
+        assert len(memo) <= _core.SIZE_MEMO_LIMIT
+        if sys.implementation.name == "cpython":
+            assert reused > 0, "workload never recycled an id"
+
+    @pytest.mark.parametrize("impl", _size_cached_impls())
+    def test_eviction_is_oldest_first_not_wholesale(self, impl):
+        memo, stats = {}, NetworkStats()
+        payloads = [("p", i) for i in range(_core.SIZE_MEMO_LIMIT + 1)]
+        for payload in payloads:
+            impl(memo, stats, payload)
+        assert len(memo) == _core.SIZE_MEMO_LIMIT
+        # Only the oldest entry fell out; the rest still hit.
+        hits_before = stats.size_cache_hits
+        for payload in payloads[1:]:
+            impl(memo, stats, payload)
+        assert stats.size_cache_hits == hits_before + len(payloads) - 1
+
+
+# ---------------------------------------------------------------------------
+# Simulator parity
+# ---------------------------------------------------------------------------
+
+
+def _exercise_simulator(sim_cls):
+    """A mixed schedule/post/cancel/compact workload; returns a trace of
+    everything observable: firing order, clock values *and types*,
+    counters, and the exact messages of every raised exception."""
+    trace = []
+    sim = sim_cls()
+    trace.append(("t0", sim.now, type(sim.now).__name__))
+
+    def fire(tag):
+        trace.append((tag, sim.now, type(sim.now).__name__))
+
+    # Int and float times interleaved; ties broken by sequence.
+    sim.schedule(2, lambda: fire("int-2"))
+    sim.schedule(2.0, lambda: fire("float-2"))
+    sim.schedule_at(1, lambda: fire("at-1"))
+    sim.post(3, lambda: fire("post-3"))
+    doomed = [sim.schedule(5.0, lambda: fire("doomed")) for _ in range(100)]
+    keeper = sim.schedule(4.0, lambda: fire("keeper"), label="keep")
+    for handle in doomed:
+        handle.cancel()
+        handle.cancel()  # idempotent
+    trace.append(("depth", sim.queue_depth, sim.pending_events))
+    sim._compact()
+    trace.append(
+        ("compacted", sim.queue_depth, sim.pending_events, sim.compactions)
+    )
+
+    # Nested scheduling from a callback.
+    def nest():
+        fire("nest")
+        sim.post(sim.now, lambda: fire("nest-child"))
+
+    sim.schedule_at(6, nest)
+    sim.run(until=4.5)
+    trace.append(("bounded", sim.now, type(sim.now).__name__))
+    assert not keeper.cancelled
+    sim.run()
+    trace.append(
+        ("drained", sim.now, type(sim.now).__name__, sim.events_processed)
+    )
+
+    # Error-message parity: every failure mode, verbatim.
+    for exc_type, trigger in [
+        (SimulationError, lambda: sim.schedule(-1.0, lambda: None)),
+        (SimulationError, lambda: sim.schedule_at(0, lambda: None)),
+        (SimulationError, lambda: sim.post(0.5, lambda: None)),
+    ]:
+        with pytest.raises(exc_type) as err:
+            trigger()
+        trace.append(("err", str(err.value)))
+
+    sim2 = sim_cls()
+    for i in range(10):
+        sim2.schedule(float(i), lambda: None)
+    with pytest.raises(SimulationError) as err:
+        sim2.run(max_events=3)
+    trace.append(("max-events", str(err.value)))
+
+    sim3 = sim_cls()
+    sim3.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationTimeout) as err:
+        sim3.run_until(lambda: False, timeout=5.0, max_events=100)
+    trace.append(("timeout", str(err.value)))
+
+    sim4 = sim_cls()
+    box = []
+    sim4.schedule(2.5, lambda: box.append(1))
+    at = sim4.run_until(lambda: bool(box), timeout=10.0)
+    trace.append(("pred", at, type(at).__name__))
+    return trace
+
+
+@needs_accel
+class TestSimulatorParity:
+    def test_full_workload_trace_is_identical(self):
+        assert _exercise_simulator(AccelSimulator) == _exercise_simulator(
+            PurePySimulator
+        )
+
+    def test_int_times_stay_ints(self):
+        sim = AccelSimulator()
+        sim.schedule_at(5, lambda: None)
+        sim.run()
+        assert sim.now == 5 and type(sim.now) is int
+
+    def test_step_and_handles(self):
+        sim = AccelSimulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("a"), label="first")
+        sim.schedule(2.0, lambda: fired.append("b"))
+        assert handle.label == "first"
+        assert sim.step() is True
+        assert fired == ["a"]
+        assert handle.cancelled is False
+        handle.cancel()  # after fire: no-op
+        assert sim.pending_events == 1
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_compaction_threshold_matches_pure(self):
+        def churn(sim_cls):
+            sim = sim_cls()
+            record = []
+            for round_no in range(6):
+                handles = [
+                    sim.schedule(100.0 + round_no, lambda: None)
+                    for _ in range(70)
+                ]
+                for handle in handles[:-1]:
+                    handle.cancel()
+                record.append(
+                    (sim.queue_depth, sim.pending_events, sim.compactions)
+                )
+            return record
+
+        assert churn(AccelSimulator) == churn(PurePySimulator)
+
+    def test_callback_exception_propagates_cleanly(self):
+        sim = AccelSimulator()
+        fired = []
+
+        def boom():
+            raise RuntimeError("boom")
+
+        sim.schedule(1.0, lambda: fired.append("before"))
+        sim.schedule(2.0, boom)
+        sim.schedule(3.0, lambda: fired.append("after"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+        assert fired == ["before"]
+        # The failed event was consumed; the queue continues afterwards.
+        sim.run()
+        assert fired == ["before", "after"]
+
+
+# ---------------------------------------------------------------------------
+# Network fast-path parity
+# ---------------------------------------------------------------------------
+
+
+def _exercise_network(sim_cls, delay_model):
+    sim = sim_cls()
+    net = Network(sim, delay_model=delay_model)
+    inboxes = {pid: [] for pid in range(4)}
+    for pid in range(4):
+        net.register(
+            pid,
+            lambda src, payload, pid=pid: inboxes[pid].append(
+                (src, payload, net.sim.now, type(net.sim.now).__name__)
+            ),
+        )
+    payload = ("req", "value", 7)
+    envelopes = [net.send(0, dst, payload) for dst in range(4)]
+    envelopes += net.broadcast(1, ("gossip", 2), include_self=False)
+    net.unregister(3)
+    net.send(0, 2, payload)  # memo hit
+    sim.run()
+    stats = net.stats
+    return (
+        [tuple(env) for env in envelopes],
+        inboxes,
+        (
+            stats.messages_sent,
+            stats.messages_delivered,
+            stats.bytes_sent,
+            stats.size_cache_hits,
+            stats.size_cache_misses,
+        ),
+        (sim.events_processed, sim.now, type(sim.now).__name__),
+    )
+
+
+@needs_accel
+class TestNetworkFastPathParity:
+    @pytest.mark.parametrize(
+        "delay_model",
+        [SynchronousDelay(1.0), RoundSynchronousDelay(2.0)],
+        ids=["fixed", "model"],
+    )
+    def test_same_envelopes_stats_and_deliveries(self, delay_model):
+        assert _exercise_network(AccelSimulator, delay_model) == (
+            _exercise_network(PurePySimulator, delay_model)
+        )
+
+    def test_send_routes_through_netcore_when_eligible(self):
+        sim = AccelSimulator()
+        net = Network(sim)
+        assert net._netcore is not None
+        assert net._send == net._netcore.send
+
+    def test_slow_features_fall_back_to_general_path(self):
+        from repro.sim.network import DelayRule
+
+        sim = AccelSimulator()
+        net = Network(sim)
+        net.set_delay_rule(DelayRule(name="lag", extra_delay=1.0))
+        assert net._send == net._send_general
+        net.clear_delay_rule("lag")
+        assert net._send == net._netcore.send
+        net.add_send_hook(lambda env: None)
+        assert net._send == net._send_general
+
+    def test_tracer_and_delivery_log_disable_fast_path(self):
+        sim = AccelSimulator()
+        net = Network(sim, record_deliveries=True)
+        assert net._send == net._send_general
+        sim2 = AccelSimulator()
+        net2 = Network(sim2)
+        net2.install_tracer(object())
+        assert net2._send == net2._send_general
+        net2.install_tracer(None)
+        assert net2._send == net2._netcore.send
+
+    def test_unknown_destination_error_matches(self):
+        sim = AccelSimulator()
+        net = Network(sim)
+        net.register(0, lambda src, payload: None)
+        with pytest.raises(ValueError) as accel_err:
+            net.send(0, 42, "x")
+        pure_sim = PurePySimulator()
+        pure_net = Network(pure_sim)
+        pure_net.register(0, lambda src, payload: None)
+        with pytest.raises(ValueError) as pure_err:
+            pure_net.send(0, 42, "x")
+        assert str(accel_err.value) == str(pure_err.value)
+
+    def test_invalid_delay_model_error_matches(self):
+        class BadModel:
+            def delay(self, src, dst, send_time):
+                return -1.0
+
+        def trigger(sim_cls):
+            sim = sim_cls()
+            net = Network(sim, delay_model=BadModel())
+            net.register(0, lambda src, payload: None)
+            with pytest.raises(ValueError) as err:
+                net.send(0, 0, "x")
+            return str(err.value)
+
+        assert trigger(AccelSimulator) == trigger(PurePySimulator)
+
+
+# ---------------------------------------------------------------------------
+# Import-time backend selection (subprocess: selection is import-time)
+# ---------------------------------------------------------------------------
+
+
+def _run_probe(extra_env):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_ACCEL", None)
+    env.update(extra_env)
+    return subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import repro._core as c; print(c.BACKEND, c.HAVE_ACCEL)",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestBackendSelection:
+    def test_forced_pure(self):
+        result = _run_probe({"REPRO_ACCEL": "0"})
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.split() == ["pure", "False"]
+
+    @needs_accel
+    def test_forced_accel(self):
+        result = _run_probe({"REPRO_ACCEL": "1"})
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.split() == ["accel", "True"]
+
+    @needs_accel
+    def test_auto_detect_prefers_accel(self):
+        result = _run_probe({})
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.split() == ["accel", "True"]
+
+    def test_require_accel_fails_loudly_when_missing(self):
+        """REPRO_ACCEL=1 with no importable extension must raise with
+        build instructions, not silently measure the pure backend.  The
+        extension import is blocked via a meta-path finder so the test
+        works whether or not the extension is actually built."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env["REPRO_ACCEL"] = "1"
+        code = (
+            "import sys, importlib.abc\n"
+            "class Block(importlib.abc.MetaPathFinder):\n"
+            "    def find_spec(self, name, path, target=None):\n"
+            "        if name == 'repro._core._accel':\n"
+            "            raise ImportError('blocked for test')\n"
+            "        return None\n"
+            "sys.meta_path.insert(0, Block())\n"
+            "import repro._core\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode != 0
+        assert "REPRO_ACCEL=1" in result.stderr
+        assert "repro._core.build" in result.stderr
+
+
+@needs_accel
+class TestGoldenDigestUnderAccel:
+    """One fast scenario, full pipeline, against the committed golden
+    digest — the whole-suite sweep runs in CI for both backends."""
+
+    def test_scenario_digest_matches_golden(self):
+        golden = json.loads(
+            (REPO_ROOT / "tests" / "golden" / "scenario_digests.json").read_text()
+        )
+        name = "fab-fast-path"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env["REPRO_ACCEL"] = "1"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                (
+                    "from repro.scenarios.runner import run_scenarios; "
+                    f"print(run_scenarios([{name!r}])[0].trace_digest)"
+                ),
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == golden[name]

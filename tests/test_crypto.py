@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.crypto.keys import KeyRegistry, Signature, canonical_bytes
+from repro.crypto.keys import (
+    KeyRegistry,
+    Signature,
+    canonical_bytes,
+    crypto_reference_mode,
+)
 
 
 @pytest.fixture
@@ -193,3 +198,119 @@ class TestCanonicalBytes:
             Propose(value="x", view=1, cert=None, tau=tau)
         )
         assert canonical_bytes(Ack("x", 1)) != canonical_bytes(Ack("x", 2))
+
+
+class TestCanonicalMemo:
+    """The bounded identity-keyed serialization memo (this PR's
+    pure-Python crypto win #1): one canonical_bytes walk per payload
+    object across sign / verify / verify_all."""
+
+    def test_sign_then_verify_serializes_once(self, registry):
+        payload = ("propose", "x", 1)
+        sig = registry.signer(1).sign(payload)
+        assert registry.canonical_misses == 1
+        assert registry.verify(sig, payload)
+        assert registry.canonical_misses == 1
+        assert registry.canonical_hits == 1
+
+    def test_equal_but_distinct_objects_still_verify(self, registry):
+        # Identity keying means a value-equal copy misses the memo but
+        # must of course still produce the same canonical bytes.  (Built
+        # via tuple() because CPython folds equal tuple *literals* in one
+        # code object into a single constant object.)
+        first = tuple(["ack", "v", 2])
+        copy = tuple(["ack", "v", 2])
+        assert first is not copy
+        sig = registry.signer(0).sign(first)
+        assert registry.verify(sig, copy)
+        assert registry.canonical_misses == 2
+
+    def test_memo_is_bounded(self):
+        registry = KeyRegistry.for_processes(range(1))
+        signer = registry.signer(0)
+        for i in range(KeyRegistry.CANONICAL_MEMO_LIMIT + 50):
+            signer.sign(("payload", i))
+        assert len(registry._canonical_memo) == KeyRegistry.CANONICAL_MEMO_LIMIT
+
+    def test_memo_can_be_disabled(self):
+        registry = KeyRegistry.for_processes(range(2), )
+        plain = KeyRegistry(canonical_memo=False)
+        plain.add_process(0)
+        payload = ("x", 1)
+        sig = plain.signer(0).sign(payload)
+        assert plain.verify(sig, payload)
+        assert plain.canonical_hits == 0
+        assert plain.canonical_misses == 0
+        # Same digests with and without the memo: pure caching, no
+        # semantic difference.
+        assert sig.digest == registry.signer(0).sign(payload).digest
+
+
+class TestBatchedVerifyAll:
+    """verify_all (pure-Python crypto win #2): canonicalize and hash the
+    payload once per certificate, not once per signature."""
+
+    def test_batch_canonicalizes_once(self, registry):
+        payload = ("certack", "x", 2)
+        sigs = [registry.signer(pid).sign(payload) for pid in range(4)]
+        misses_after_sign = registry.canonical_misses
+        assert registry.verify_all(sigs, payload)
+        assert registry.canonical_misses == misses_after_sign
+        assert registry.batch_verifies == 1
+        # Per-signature verify results were cached; a second batch over
+        # the same certificate is pure cache hits.
+        hits_before = registry.cache_hits
+        assert registry.verify_all(sigs, payload)
+        assert registry.cache_hits == hits_before + len(sigs)
+
+    def test_batch_matches_legacy_loop(self):
+        """Batched and per-signature verification must agree on every
+        outcome: all-valid, one-invalid, unknown signer, empty set."""
+        payload = ("decide", "v", 9)
+        other = ("decide", "w", 9)
+
+        def outcomes(registry):
+            sigs = [registry.signer(pid).sign(payload) for pid in range(3)]
+            bad = sigs + [registry.signer(3).sign(other)]
+            unknown = sigs + [Signature(signer=99, digest=b"x" * 32)]
+            return (
+                registry.verify_all(sigs, payload),
+                registry.verify_all(bad, payload),
+                registry.verify_all(unknown, payload),
+                registry.verify_all([], payload),
+                registry.verify_all(sigs, other),
+            )
+
+        batched = outcomes(KeyRegistry.for_processes(range(4)))
+        with crypto_reference_mode():
+            legacy = outcomes(KeyRegistry.for_processes(range(4)))
+        assert batched == legacy == (True, False, True and False, True, False)
+
+    def test_short_circuits_on_first_failure(self, registry):
+        payload = ("p", 1)
+        bad = Signature(signer=0, digest=b"wrong" * 8)
+        good = registry.signer(1).sign(payload)
+        misses_before = registry.cache_misses
+        assert not registry.verify_all([bad, good], payload)
+        # Only the failing signature was HMAC-checked.
+        assert registry.cache_misses == misses_before + 1
+
+    def test_reference_mode_disables_both_fast_paths(self):
+        with crypto_reference_mode():
+            registry = KeyRegistry.for_processes(range(3))
+            payload = ("x", 1)
+            sigs = [registry.signer(pid).sign(payload) for pid in range(3)]
+            assert registry.verify_all(sigs, payload)
+            assert registry.batch_verifies == 0
+            assert registry.canonical_hits == 0
+        # Defaults restored on exit.
+        fresh = KeyRegistry.for_processes(range(1))
+        fresh.signer(0).sign(("y",))
+        assert fresh.canonical_misses == 1
+
+    def test_explicit_kwargs_beat_reference_mode(self):
+        with crypto_reference_mode():
+            registry = KeyRegistry(canonical_memo=True, batch_verify=True)
+            registry.add_process(0)
+            registry.signer(0).sign(("z",))
+            assert registry.canonical_misses == 1

@@ -323,3 +323,94 @@ class TestDeterminism:
             return order
 
         assert run_once() == run_once()
+
+
+class TestCompactionStorms:
+    """Interleaved cancel/schedule storms: the accounting invariants
+    (queue_depth vs pending_events vs compactions) must hold at every
+    step, and forcing extra compactions must never change an execution."""
+
+    def test_interleaved_cancel_schedule_storm_invariants(self):
+        sim = Simulator()
+        fired = []
+        live = []
+        cancelled_total = 0
+        compactions_seen = 0
+        for wave in range(12):
+            base = 100.0 + wave
+            fresh = [
+                sim.schedule(base + (i % 5) * 0.25, lambda w=wave: fired.append(w))
+                for i in range(300)
+            ]
+            live.extend(fresh)
+            # Cancel a sliding majority, oldest first, interleaved with
+            # fresh scheduling so tombstones and live entries mix.
+            victims, live = live[: len(live) * 2 // 3], live[len(live) * 2 // 3 :]
+            for handle in victims:
+                handle.cancel()
+            cancelled_total += len(victims)
+            # Invariants after every wave:
+            assert sim.queue_depth >= sim.pending_events
+            assert sim.pending_events == len(live)
+            assert sim.compactions >= compactions_seen  # monotonic
+            compactions_seen = sim.compactions
+        assert sim.compactions >= 1, "storm never triggered compaction"
+        survivors = len(live)
+        sim.run()
+        assert len(fired) == survivors
+        assert sim.pending_events == 0
+        assert sim.queue_depth == 0
+
+    def test_no_compaction_below_threshold(self):
+        sim = Simulator()
+        handles = [sim.schedule(10.0, lambda: None) for _ in range(63)]
+        for handle in handles:
+            handle.cancel()
+        # 63 tombstones dominate the queue but sit below _COMPACT_MIN.
+        assert sim.compactions == 0
+        assert sim.queue_depth == 63
+
+    def test_forced_compaction_is_invisible_to_execution(self):
+        """The same workload with compaction forced after every wave must
+        fire the same events at the same times with the same clock — the
+        in-core equivalent of digest equality."""
+
+        def run_once(force: bool):
+            sim = Simulator()
+            order = []
+            doomed = []
+            for wave in range(8):
+                for i in range(40):
+                    t = (wave * 40 + i * 7) % 29 + 1.0
+                    sim.schedule(t, lambda t=t: order.append(t))
+                doomed.extend(
+                    sim.schedule(50.0, lambda: order.append("doomed"))
+                    for _ in range(40)
+                )
+                for handle in doomed[::2]:
+                    handle.cancel()
+                if force:
+                    sim._compact()
+            sim.run()
+            return order, sim.now, sim.events_processed, sim.pending_events
+
+        plain = run_once(force=False)
+        forced = run_once(force=True)
+        assert plain == forced
+
+    def test_forced_compaction_resets_tombstone_accounting(self):
+        sim = Simulator()
+        handles = [sim.schedule(5.0, lambda: None) for _ in range(10)]
+        keeper = sim.schedule(6.0, lambda: None)
+        for handle in handles:
+            handle.cancel()
+        before = sim.compactions
+        sim._compact()
+        assert sim.compactions == before + 1
+        assert sim.queue_depth == 1
+        assert sim.pending_events == 1
+        assert not keeper.cancelled
+        # Compacting an already-clean queue is harmless and counted.
+        sim._compact()
+        assert sim.compactions == before + 2
+        assert sim.queue_depth == 1
