@@ -1,0 +1,188 @@
+"""E21 — observability overhead: flight-recorder-on vs recorder-off rates.
+
+The flight recorder (``repro.obs.recorder``) is a network tracer, and
+tracers are only free if the network can prove they are: ``Network``
+asks an installed tracer ``wants(payload_type)`` once per payload type,
+memoizes the verdict, and keeps the fast delivery post for unwanted
+payloads.  E21 measures what attaching a recorder actually costs, per
+workload:
+
+* **broadcast_storm** — the E16 network hot path with *unwanted* tuple
+  payloads: the recorder's cost is one memoized verdict lookup per send,
+  which must be in the noise (this is the gated headline);
+* **scenario_sweep** — three canonical scenarios (fast path, view
+  changes, WAL + checkpoints) where every protocol message is
+  classified, bucketed for causality, and the replica hooks fire: the
+  honest full-record cost, recorded but not gated.
+
+Both variants run under ``REPRO_ACCEL=0``: the pure backend shares one
+send path, so on/off is a recorder-cost ratio.  Under the compiled
+backend, installing *any* tracer forfeits the C fast path by design, so
+an accel ratio would measure backend forfeiture, not recorder overhead
+(see ``bench_e20_accel.py`` for what that fast path is worth).
+
+The grid lives in the E21 registry entry; this script re-runs it per
+variant, combines the rows, and asserts the headline:
+
+* the broadcast storm sustains **>= 0.90x** of its recorder-off rate
+  with a recorder attached (overhead <= 10%).
+
+Results are written to ``BENCH_E21_obsoverhead.json``;
+``benchmarks/perf_gate.py`` compares the ``recorder_on_ratio`` against
+the committed trajectory in ``benchmarks/baselines/``.
+
+Also runnable as a CI smoke check without pytest:
+
+    PYTHONPATH=src python benchmarks/bench_e21_obsoverhead.py --quick
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.analysis.profiling import write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The acceptance bar: recorder-on rate / recorder-off rate on the
+#: broadcast storm (<= 10% overhead).
+STORM_RECORDER_FLOOR = 0.90
+
+#: Re-runs the E21 registry grid in a subprocess pinned to the pure
+#: backend and prints the aggregated rows as JSON.  A subprocess is the
+#: only honest way to pin a backend: the choice is made at import time.
+_GRID_SCRIPT = (
+    "import json, sys;"
+    "from repro.experiments import run_sections;"
+    "import repro._core as c;"
+    "rows = run_sections('E21', quick=(sys.argv[1] == 'quick'))['main'];"
+    "print(json.dumps({'backend': c.BACKEND, 'rows': rows}))"
+)
+
+
+def run_grid(quick: bool = False, passes: int = 2) -> dict:
+    """Run the E21 grid on the pure backend; returns
+    ``{workload: {"unit": ..., "off": rate, "recorder": rate}}``.
+
+    The grid is run ``passes`` times and each cell takes its best rate:
+    the on/off ratio is the gated number, so per-cell noise must not
+    masquerade as recorder overhead.
+    """
+    env = dict(os.environ)
+    env["REPRO_ACCEL"] = "0"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    rates: dict = {}
+    for _ in range(max(1, passes)):
+        result = subprocess.run(
+            [sys.executable, "-c", _GRID_SCRIPT, "quick" if quick else "full"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        if result.returncode != 0:
+            raise RuntimeError(f"E21 grid run failed:\n{result.stderr}")
+        payload = json.loads(result.stdout.splitlines()[-1])
+        assert payload["backend"] == "pure"
+        for workload, variant, _backend, unit, rate in payload["rows"]:
+            entry = rates.setdefault(workload, {"unit": unit})
+            entry[variant] = max(entry.get(variant, 0.0), rate)
+    return rates
+
+
+def combine(rates: dict) -> dict:
+    """Fold the grid cells into the BENCH_E21 results dict."""
+    return {
+        workload: {
+            "unit": cells["unit"],
+            "recorder_off": cells["off"],
+            "recorder_on": cells["recorder"],
+            "recorder_on_ratio": cells["recorder"] / cells["off"],
+        }
+        for workload, cells in rates.items()
+    }
+
+
+def check_headline(results: dict) -> None:
+    ratio = results["broadcast_storm"]["recorder_on_ratio"]
+    assert ratio >= STORM_RECORDER_FLOOR, (
+        f"flight recorder costs the broadcast storm "
+        f"{(1.0 - ratio):.0%} (ratio {ratio:.3f}, floor "
+        f"{STORM_RECORDER_FLOOR}): the selective-tracer fast path "
+        f"regressed"
+    )
+
+
+HEADERS = ["workload", "unit", "recorder off", "recorder on", "on/off"]
+
+
+def rows_of(results: dict) -> list:
+    return [
+        [
+            workload,
+            entry["unit"],
+            round(entry["recorder_off"], 2),
+            round(entry["recorder_on"], 2),
+            f"{entry['recorder_on_ratio']:.3f}",
+        ]
+        for workload, entry in results.items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Pytest entry point
+# ---------------------------------------------------------------------------
+
+
+def test_e21_recorder_overhead():
+    """The gated headline: <= 10% storm overhead with a recorder on."""
+    results = combine(run_grid(quick=True))
+    emit(
+        "E21: flight-recorder overhead, recorder-on vs off (quick, pure)",
+        format_table(HEADERS, rows_of(results)),
+    )
+    check_headline(results)
+
+
+# ---------------------------------------------------------------------------
+# Script mode
+# ---------------------------------------------------------------------------
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small workloads")
+    parser.add_argument(
+        "--output", default="BENCH_E21_obsoverhead.json",
+        help="where to write the perf-trajectory record ('' to skip)",
+    )
+    args = parser.parse_args(argv)
+
+    results = combine(run_grid(quick=args.quick))
+    print("E21: flight-recorder overhead, recorder-on vs recorder-off (pure)")
+    print(format_table(HEADERS, rows_of(results)))
+    if args.output:
+        write_bench_json(
+            args.output,
+            "E21_obsoverhead",
+            results,
+            meta={"quick": args.quick},
+        )
+        print(f"\nwrote {args.output}")
+    check_headline(results)
+    storm = results["broadcast_storm"]["recorder_on_ratio"]
+    print(
+        f"recorder-on broadcast storm sustains {storm:.3f}x the "
+        f"recorder-off rate (floor {STORM_RECORDER_FLOOR})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,27 +1,32 @@
-"""Perf-regression gate: BENCH_E20 ratios vs the committed trajectory.
+"""Perf-regression gate: BENCH ratios vs the committed trajectory.
 
 Wall-clock rates are machine-dependent, so the gate never compares them
 across machines.  What it *does* compare are the dimensionless ratios a
-``BENCH_E20_accel.json`` record carries per workload:
+``BENCH_*.json`` record carries per workload.  Each gated bench has its
+own tracked ratios and committed baseline (see :data:`GATES`):
 
-* ``pure_wins_speedup``  — optimized/reference inside the pure backend
-  (the guaranteed pure-Python wins);
-* ``backend_speedup``    — compiled/pure on the optimized variant
-  (present only when the extension was built).
+* ``E20_accel`` — ``pure_wins_speedup`` (optimized/reference inside the
+  pure backend) and ``backend_speedup`` (compiled/pure on the optimized
+  variant, present only when the extension was built);
+* ``E21_obsoverhead`` — ``recorder_on_ratio`` (flight-recorder-on /
+  recorder-off rate per workload; the broadcast storm is the <= 10%
+  overhead headline).
 
 Each current ratio must stay within a tolerance band of the committed
-baseline (``benchmarks/baselines/BENCH_E20_accel.json``): a ratio is a
+baseline (``benchmarks/baselines/BENCH_<name>.json``): a ratio is a
 regression when it falls below ``baseline * (1 - tolerance)``.  Ratios
 *above* baseline never fail — improvements move the trajectory and the
-baseline should be refreshed (rerun ``bench_e20_accel.py`` and copy the
+baseline should be refreshed (rerun the bench script and copy the
 record over the baseline) when they hold.
 
-Usage (what CI runs after ``bench_e20_accel.py --quick``)::
+Usage (what CI runs after the bench scripts' ``--quick`` passes)::
 
     PYTHONPATH=src python benchmarks/perf_gate.py --current BENCH_E20_accel.json
+    PYTHONPATH=src python benchmarks/perf_gate.py --current BENCH_E21_obsoverhead.json
 
-Exit status: 0 when every tracked ratio is inside the band, 1 on any
-regression (or an unreadable record).
+The gate (tracked ratios + default baseline) is selected by the current
+record's ``bench`` field.  Exit status: 0 when every tracked ratio is
+inside the band, 1 on any regression (or an unreadable record).
 """
 
 import argparse
@@ -34,7 +39,7 @@ from repro.analysis import format_table
 from repro.analysis.profiling import load_bench_json
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_E20_accel.json"
+BASELINE_DIR = REPO_ROOT / "benchmarks" / "baselines"
 
 #: Fraction a ratio may fall below its baseline before the gate fails.
 #: Sized for single-core CI runners: per-run ratio noise observed on the
@@ -42,11 +47,25 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_E20_accel.jso
 #: memo, an unbound fast path) without tripping on scheduler jitter.
 DEFAULT_TOLERANCE = 0.35
 
-#: The ratio fields a BENCH_E20 record tracks per workload.
-TRACKED_RATIOS = ("pure_wins_speedup", "backend_speedup")
+#: Gated bench records: tracked per-workload ratio fields plus the
+#: committed baseline, keyed by the record's ``bench`` name.
+GATES = {
+    "E20_accel": {
+        "ratios": ("pure_wins_speedup", "backend_speedup"),
+        "baseline": BASELINE_DIR / "BENCH_E20_accel.json",
+    },
+    "E21_obsoverhead": {
+        "ratios": ("recorder_on_ratio",),
+        "baseline": BASELINE_DIR / "BENCH_E21_obsoverhead.json",
+    },
+}
+
+#: Backwards-compatible aliases (the pre-E21 single-gate module API).
+TRACKED_RATIOS = GATES["E20_accel"]["ratios"]
+DEFAULT_BASELINE = GATES["E20_accel"]["baseline"]
 
 
-def compare(current: dict, baseline: dict, tolerance: float) -> list:
+def compare(current: dict, baseline: dict, tolerance: float, ratios) -> list:
     """All (workload, ratio, current, baseline, floor, ok) comparisons.
 
     Workloads or ratios missing from the *current* record (e.g. no
@@ -58,7 +77,7 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list:
         cur_entry = current["results"].get(workload)
         if cur_entry is None:
             continue
-        for ratio in TRACKED_RATIOS:
+        for ratio in ratios:
             if ratio not in base_entry or ratio not in cur_entry:
                 continue
             floor = base_entry[ratio] * (1.0 - tolerance)
@@ -79,11 +98,12 @@ def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--current", default="BENCH_E20_accel.json",
-        help="record produced by this run (bench_e20_accel.py --output)",
+        help="record produced by this run (a bench script's --output)",
     )
     parser.add_argument(
-        "--baseline", default=str(DEFAULT_BASELINE),
-        help="committed trajectory record to gate against",
+        "--baseline", default="",
+        help="committed trajectory record to gate against "
+             "(default: the gate's baseline for the current record's bench)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
@@ -92,21 +112,30 @@ def main(argv) -> int:
     args = parser.parse_args(argv)
 
     current = load_bench_json(args.current)
-    baseline = load_bench_json(args.baseline)
-    for record, label in ((current, "current"), (baseline, "baseline")):
-        if record.get("bench") != "E20_accel":
-            print(
-                f"{label} record is {record.get('bench')!r}, not 'E20_accel'",
-                file=sys.stderr,
-            )
-            return 1
+    bench = current.get("bench")
+    gate = GATES.get(bench)
+    if gate is None:
+        print(
+            f"current record is {bench!r}; no gate defined "
+            f"(gated benches: {', '.join(sorted(GATES))})",
+            file=sys.stderr,
+        )
+        return 1
+    baseline_path = args.baseline or str(gate["baseline"])
+    baseline = load_bench_json(baseline_path)
+    if baseline.get("bench") != bench:
+        print(
+            f"baseline record is {baseline.get('bench')!r}, not {bench!r}",
+            file=sys.stderr,
+        )
+        return 1
 
-    rows = compare(current, baseline, args.tolerance)
+    rows = compare(current, baseline, args.tolerance, gate["ratios"])
     if not rows:
         print("no tracked ratios in common: nothing to gate", file=sys.stderr)
         return 1
     print(
-        f"perf gate: {args.current} vs {args.baseline} "
+        f"perf gate [{bench}]: {args.current} vs {baseline_path} "
         f"(tolerance {args.tolerance:.0%})"
     )
     print(

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Post-mortem tour: record a safety violation, then explain it.
+
+The full debugging loop the flight recorder enables, in four stops:
+
+1. **record** — seed the relaxed-fast-quorum bug (a protocol option the
+   paper's n >= 5f-1 bound forbids), run it under a flight recorder, and
+   dump the violating run as JSON lines.  The recorder is digest-safe:
+   an unobserved run of the same scenario is byte-identical;
+2. **timeline** — read the dump back and walk the causal timeline
+   (sends, deliveries, certificates, decides, each with parent ids);
+3. **explain** — compute the violation's minimal causal cut: the decide
+   events that conflict, the certificates they formed from, and the
+   vote deliveries inside those certificates — the bad certificate is
+   *visible* in the cut;
+4. **diff** — re-record the same scenario with the bug switched off and
+   find the first divergence between the two runs.
+
+Run me:
+
+    PYTHONPATH=src python examples/postmortem_tour.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.obs import FlightRecorder
+from repro.postmortem import (
+    load_dump,
+    render_diff,
+    render_explanation,
+    render_timeline,
+)
+from repro.scenarios import get_scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import DelayRuleOn
+
+#: Hide two honest acks from p3 so its relaxed fast quorum fills up
+#: with the equivocating leader's vote instead.
+STALL_MAJORITY_ACKS = (
+    DelayRuleOn(
+        at=0.0,
+        name="stall-majority-acks",
+        src=(1, 2),
+        dst=(3,),
+        payload_types=("Ack",),
+        extra_delay=5.0,
+    ),
+)
+
+
+def record(out_dir: Path) -> tuple:
+    print("=" * 72)
+    print("1. record: fast quorum relaxed by 1 under an equivocating leader")
+    print("=" * 72)
+    buggy = get_scenario("equivocating-leader").with_(
+        faults=STALL_MAJORITY_ACKS,
+        name="eq-buggy",
+        protocol_options={"fast_quorum_delta": 1},
+    )
+    recorder = FlightRecorder()
+    result = run_scenario(buggy, recorder=recorder)
+    buggy_path = out_dir / "eq-buggy.jsonl"
+    recorder.dump(str(buggy_path))
+    print(f"outcome    : ok={result.ok}")
+    print(f"violation  : {result.safety_violation}")
+    print(f"dumped     : {buggy_path} ({recorder.emitted} events)")
+
+    clean_recorder = FlightRecorder()
+    clean_result = run_scenario(
+        get_scenario("equivocating-leader"), recorder=clean_recorder
+    )
+    clean_path = out_dir / "eq-clean.jsonl"
+    clean_recorder.dump(str(clean_path))
+    unobserved = run_scenario(get_scenario("equivocating-leader"))
+    assert clean_result.trace_digest == unobserved.trace_digest
+    print(
+        "recorder is digest-safe: observed clean run == unobserved run "
+        f"({clean_result.trace_digest[:16]})"
+    )
+    return buggy_path, clean_path
+
+
+def timeline(buggy_path: Path) -> None:
+    print()
+    print("=" * 72)
+    print("2. timeline: the violating run, last 12 events")
+    print("=" * 72)
+    dump = load_dump(str(buggy_path))
+    print(render_timeline(dump, limit=12))
+
+
+def explain(buggy_path: Path) -> None:
+    print()
+    print("=" * 72)
+    print("3. explain: the minimal causal cut behind the conflict")
+    print("=" * 72)
+    dump = load_dump(str(buggy_path))
+    text, found = render_explanation(dump)
+    assert found, "the explainer must find the recorded violation"
+    print(text)
+
+
+def diff(buggy_path: Path, clean_path: Path) -> None:
+    print()
+    print("=" * 72)
+    print("4. diff: buggy run vs the same scenario without the bug")
+    print("=" * 72)
+    text, identical = render_diff(
+        load_dump(str(clean_path)),
+        load_dump(str(buggy_path)),
+        "eq-clean",
+        "eq-buggy",
+    )
+    assert not identical
+    print(text)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="postmortem-tour-") as tmp:
+        out_dir = Path(tmp)
+        buggy_path, clean_path = record(out_dir)
+        timeline(buggy_path)
+        explain(buggy_path)
+        diff(buggy_path, clean_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -50,6 +50,11 @@ __all__ = [
     "E16_FULL_PARAMS",
     "E20_QUICK_SIZES",
     "E20_FULL_SIZES",
+    "E21_QUICK_SIZES",
+    "E21_FULL_SIZES",
+    "E21_SCENARIOS",
+    "recorder_sim_net",
+    "scenario_obs_rate",
     "event_churn",
     "timer_churn",
     "broadcast_storm",
@@ -476,6 +481,73 @@ def fuzz_seed_rate(budget: int, reference: bool = False) -> float:
         wall = time.perf_counter() - start
     assert report.executed == budget, "campaign stopped early"
     return report.executed / wall
+
+
+# ---------------------------------------------------------------------------
+# E21 workloads: observability overhead.  Each workload runs in two
+# variants — recorder off and a FlightRecorder attached — and E21 reports
+# the on/off ratio.  The broadcast storm measures the selective tracer's
+# cost on *unwanted* payloads (the network hot path: one memoized
+# ``wants`` verdict, then the fast delivery post); the scenario sweep
+# measures the cost on real protocol traffic (classified events, causal
+# buckets, replica hooks).
+# ---------------------------------------------------------------------------
+
+
+#: E21 workload sizes.  ``broadcast_storm`` is ``(n, rounds)`` (the E16
+#: storm, so the off-variant numbers are comparable across BENCH files);
+#: ``scenario_sweep`` is ``(repeats,)`` over :data:`E21_SCENARIOS`.
+E21_QUICK_SIZES: Dict[str, Tuple[int, ...]] = {
+    "broadcast_storm": (12, 200),
+    "scenario_sweep": (2,),
+}
+E21_FULL_SIZES: Dict[str, Tuple[int, ...]] = {
+    "broadcast_storm": (16, 600),
+    "scenario_sweep": (6,),
+}
+
+#: Scenario names the E21 sweep executes — one fast-path run, one
+#: view-change-heavy run, one durable (WAL + checkpoint) run, so the
+#: recorder's classified-event and causal-bucket paths all get exercised.
+E21_SCENARIOS: Tuple[str, ...] = (
+    "fast-path-clean",
+    "slow-leader",
+    "durable-recovery",
+)
+
+
+def recorder_sim_net():
+    """A :func:`broadcast_storm` factory with a flight recorder attached
+    (the E21 ``recorder`` variant of the network hot path)."""
+    from ..obs.recorder import FlightRecorder
+
+    sim = Simulator()
+    net = Network(sim, delay_model=SynchronousDelay(1.0))
+    net.install_tracer(FlightRecorder())
+    return sim, net
+
+
+def scenario_obs_rate(repeats: int, recorder: bool = False) -> float:
+    """Wall-clock scenario executions/sec over :data:`E21_SCENARIOS`,
+    optionally with a fresh :class:`~repro.obs.recorder.FlightRecorder`
+    attached to every run.  Every run must pass its oracles — a recorder
+    that perturbed a scenario would invalidate the measurement."""
+    from ..scenarios.library import get_scenario
+    from ..scenarios.runner import run_scenario
+
+    if recorder:
+        from ..obs.recorder import FlightRecorder
+
+    executed = 0
+    start = time.perf_counter()
+    for _ in range(max(1, repeats)):
+        for name in E21_SCENARIOS:
+            rec = FlightRecorder() if recorder else None
+            result = run_scenario(get_scenario(name), recorder=rec)
+            assert result.ok, f"E21 sweep scenario {name} failed its oracles"
+            executed += 1
+    wall = time.perf_counter() - start
+    return executed / wall
 
 
 def simcore_snapshot(quick: bool = True, repeats: int = 2) -> Dict[str, float]:

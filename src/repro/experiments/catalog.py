@@ -1,4 +1,4 @@
-"""The canonical E1–E20 registry entries.
+"""The canonical E1–E21 registry entries.
 
 Every experiment from EXPERIMENTS.md is one :class:`ExperimentSpec`: a
 parameter grid plus a driver that evaluates a *single* grid point.  The
@@ -32,12 +32,16 @@ from ..analysis.profiling import (
     E16_QUICK_PARAMS,
     E20_FULL_SIZES,
     E20_QUICK_SIZES,
+    E21_FULL_SIZES,
+    E21_QUICK_SIZES,
     broadcast_storm,
     cert_storm,
     crypto_verify_rate,
     event_churn,
     fuzz_seed_rate,
+    recorder_sim_net,
     reference_sim_net,
+    scenario_obs_rate,
     smr_wall_rate,
     timer_churn,
 )
@@ -1435,6 +1439,78 @@ register(
                 "crypto_verify",
             ),
             variant=("reference", "optimized"),
+            quick=(True,),
+        ),
+        columns={"main": ("workload", "variant", "backend", "unit", "rate")},
+        cacheable=False,
+        deterministic=False,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# E21 — observability overhead: flight recorder on vs off
+# ---------------------------------------------------------------------------
+
+
+def e21_driver(params: Dict[str, Any], seed: int) -> TaskResult:
+    """One (workload, variant) cell of the observability-overhead grid.
+
+    ``variant="recorder"`` attaches a :class:`~repro.obs.recorder.
+    FlightRecorder`; ``variant="off"`` runs bare.  The storm exercises
+    the selective tracer's unwanted-payload path (one memoized ``wants``
+    verdict per payload type, then the fast delivery post); the scenario
+    sweep exercises full classification, causal buckets, and the replica
+    hooks.  ``benchmarks/bench_e21_obsoverhead.py`` turns the cells into
+    the gated ``recorder_on_ratio``.
+    """
+    from .. import _core
+
+    workload = params["workload"]
+    recorded = params["variant"] == "recorder"
+    sizes = (E21_QUICK_SIZES if params["quick"] else E21_FULL_SIZES)[workload]
+    if workload == "broadcast_storm":
+        n, rounds = sizes
+        if recorded:
+            rate = max(
+                broadcast_storm(n, rounds, sim_net_factory=recorder_sim_net)
+                for _ in range(3)
+            )
+        else:
+            rate = max(broadcast_storm(n, rounds) for _ in range(3))
+        unit = "events/sec"
+    else:
+        (repeats,) = sizes
+        rate = max(
+            scenario_obs_rate(repeats, recorder=recorded) for _ in range(2)
+        )
+        unit = "scenarios/sec"
+    return TaskResult(
+        rows=[
+            (
+                "main",
+                [workload, params["variant"], _core.BACKEND, unit, round(rate, 2)],
+            )
+        ],
+        digest=_stable_digest(["E21", workload, params["variant"]]),
+    )
+
+
+register(
+    ExperimentSpec(
+        id="E21",
+        name="obsoverhead",
+        title="flight-recorder overhead: recorder-on vs recorder-off rates",
+        paper_ref="perf due diligence (see benchmarks/bench_e21_obsoverhead.py)",
+        driver=e21_driver,
+        grid=grid(
+            workload=("broadcast_storm", "scenario_sweep"),
+            variant=("off", "recorder"),
+            quick=(False,),
+        ),
+        quick_grid=grid(
+            workload=("broadcast_storm", "scenario_sweep"),
+            variant=("off", "recorder"),
             quick=(True,),
         ),
         columns={"main": ("workload", "variant", "backend", "unit", "rate")},

@@ -4,28 +4,65 @@ Usage::
 
     python -m repro.fuzz campaign --budget 256 [--shards 2] [--max-seconds 600]
         [--corpus-in FILE] [--corpus-out FILE] [--json FILE] [--no-shrink]
+        [--metrics-out FILE] [--trace-out FILE] [--record-out DIR]
     python -m repro.fuzz replay KEY --corpus FILE
-    python -m repro.fuzz replay --spec FILE
+    python -m repro.fuzz replay --spec FILE [--metrics-out FILE]
+        [--trace-out FILE] [--record-out DIR]
     python -m repro.fuzz corpus stats --corpus FILE
     python -m repro.fuzz corpus minimize --corpus FILE [--out FILE]
 
 ``campaign`` exits 0 only when every oracle passed on every run — the
 CI gate.  ``replay`` re-executes one corpus entry (by key prefix) or a
 reproducer spec file and prints the full result.
+
+Telemetry: ``--metrics-out`` / ``--trace-out`` attach a shared
+:class:`~repro.obs.metrics.MetricsRegistry` / bounded
+:class:`~repro.obs.tracing.CausalTracer` across every executed
+schedule (this forces in-process serial execution — observers cannot
+cross a fork).  ``--record-out`` replays each failure's original and
+shrunk reproducer under a :class:`~repro.obs.recorder.FlightRecorder`
+(replays are deterministic, so the record is exact) and dumps both —
+the pair feeds ``python -m repro.postmortem diff`` directly.  With
+``--json`` and no ``--record-out``, failing reproducers are dumped
+next to the report automatically.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional, Sequence
 
 from ..scenarios.fuzz import DEFAULT_FUZZ_PROTOCOLS
 from ..scenarios.runner import run_scenario
 from ..scenarios.spec import ScenarioError, ScenarioSpec
 from .campaign import CampaignConfig, run_campaign
 from .corpus import Corpus
+
+
+def _dump_failures(failures: Sequence[Any], directory: str) -> List[str]:
+    """Replay each failure's original and shrunk spec under a flight
+    recorder and dump both; returns the written paths."""
+    from ..obs.recorder import FlightRecorder
+
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for failure in failures:
+        for tag, spec_dict in (
+            ("original", failure.spec),
+            ("shrunk", failure.shrunk),
+        ):
+            spec = ScenarioSpec.from_dict(spec_dict)
+            recorder = FlightRecorder()
+            run_scenario(spec, recorder=recorder)
+            path = os.path.join(
+                directory, f"flight-{failure.origin}-{tag}.jsonl"
+            )
+            recorder.dump(path)
+            written.append(path)
+    return written
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -49,10 +86,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             status = "ok" if outcome["ok"] else "FAIL"
             print(f"{origin:>24} [{outcome['coverage']['protocol']:>8}] -> {status}")
 
-    report = run_campaign(config, corpus=corpus, on_progress=progress)
+    metrics = tracer = None
+    run = run_scenario
+    if args.metrics_out or args.trace_out:
+        if args.metrics_out:
+            from ..obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        if args.trace_out:
+            from ..obs.tracing import CausalTracer
+
+            tracer = CausalTracer()
+
+        def run(spec, _metrics=metrics, _tracer=tracer):
+            # A custom ``run`` forces the in-process serial path, so the
+            # shared registry/ring observes every executed schedule.
+            return run_scenario(spec, metrics=_metrics, tracer=_tracer)
+
+    report = run_campaign(config, corpus=corpus, run=run, on_progress=progress)
     if args.corpus_out:
         corpus.save(args.corpus_out)
         print(f"wrote corpus ({len(corpus.entries)} entries) to {args.corpus_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_json(indent=2) + "\n")
+        print(f"wrote campaign metrics to {args.metrics_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(tracer.to_json(indent=2) + "\n")
+        print(f"wrote campaign trace ({tracer.emitted} events) to {args.trace_out}")
     if args.json:
         payload = report.to_dict()
         payload["digest"] = report.digest
@@ -61,6 +123,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote campaign report to {args.json}")
+    if report.failures:
+        # Dump-on-violation: a failing seed's flight record lands next
+        # to the report (or wherever --record-out points), ready for
+        # `python -m repro.postmortem explain`.
+        record_dir = args.record_out or (
+            os.path.dirname(os.path.abspath(args.json)) if args.json else ""
+        )
+        if record_dir:
+            for path in _dump_failures(report.failures, record_dir):
+                print(f"wrote flight record to {path}")
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -85,7 +157,33 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             )
             return 2
         spec = ScenarioSpec.from_dict(matches[0].spec)
-    result = run_scenario(spec)
+    metrics = tracer = recorder = None
+    if args.metrics_out:
+        from ..obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if args.trace_out:
+        from ..obs.tracing import CausalTracer
+
+        tracer = CausalTracer()
+    if args.record_out:
+        from ..obs.recorder import FlightRecorder
+
+        recorder = FlightRecorder()
+    result = run_scenario(spec, metrics=metrics, tracer=tracer, recorder=recorder)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(metrics.to_json(indent=2) + "\n")
+        print(f"wrote replay metrics to {args.metrics_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(tracer.to_json(indent=2) + "\n")
+        print(f"wrote replay trace ({tracer.emitted} events) to {args.trace_out}")
+    if recorder is not None:
+        os.makedirs(args.record_out, exist_ok=True)
+        path = os.path.join(args.record_out, f"flight-{spec.name}.jsonl")
+        recorder.dump(path)
+        print(f"wrote flight record to {path}")
     print(result.summary())
     return 0 if result.ok else 1
 
@@ -137,6 +235,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help="skip shrinking failing specs")
     campaign.add_argument("--quiet", action="store_true",
                           help="no per-run progress lines")
+    campaign.add_argument(
+        "--metrics-out", metavar="FILE", default="",
+        help="attach one shared MetricsRegistry across every executed "
+             "schedule and write its snapshot here (forces in-process "
+             "serial execution)",
+    )
+    campaign.add_argument(
+        "--trace-out", metavar="FILE", default="",
+        help="attach one shared CausalTracer across every executed "
+             "schedule and write its ring here (forces in-process serial "
+             "execution)",
+    )
+    campaign.add_argument(
+        "--record-out", metavar="DIR", default="",
+        help="replay each failure's original + shrunk reproducer under a "
+             "FlightRecorder and dump both to DIR (defaults to the --json "
+             "report's directory when failures occur)",
+    )
 
     replay = sub.add_parser("replay", help="re-run a corpus entry or reproducer")
     replay.add_argument("key", nargs="?", default="",
@@ -144,6 +260,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     replay.add_argument("--corpus", default="", help="corpus JSON to search")
     replay.add_argument("--spec", default="",
                         help="a reproducer spec JSON file (instead of KEY)")
+    replay.add_argument(
+        "--metrics-out", metavar="FILE", default="",
+        help="attach a MetricsRegistry and write its snapshot here",
+    )
+    replay.add_argument(
+        "--trace-out", metavar="FILE", default="",
+        help="attach a CausalTracer and write its ring here",
+    )
+    replay.add_argument(
+        "--record-out", metavar="DIR", default="",
+        help="attach a FlightRecorder and dump DIR/flight-<name>.jsonl "
+             "(see python -m repro.postmortem)",
+    )
 
     corpus = sub.add_parser("corpus", help="inspect or minimize a corpus")
     corpus.add_argument("action", choices=("stats", "minimize"))

@@ -1,10 +1,11 @@
-"""Observability: deterministic metrics, causal tracing, leader monitor.
+"""Observability: metrics, causal tracing, leader monitor, flight recorder.
 
-Three independent layers, all opt-in and all zero-cost when absent:
+Four independent layers, all opt-in and all zero-cost when absent:
 
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
-  gauges and sim-time histograms.  Disabled registries hand out a
-  null-object, so instrumented code never branches on configuration.
+  gauges and sim-time histograms, exportable as JSON or Prometheus
+  text.  Disabled registries hand out a null-object, so instrumented
+  code never branches on configuration.
 * :mod:`repro.obs.tracing` — a :class:`CausalTracer` recording
   send → delivery → handler-span → decide events with parent ids
   threaded through :class:`~repro.sim.network.Envelope` metadata.
@@ -12,13 +13,27 @@ Three independent layers, all opt-in and all zero-cost when absent:
   sliding-window latency/backlog tracking plus the signed demotion-vote
   protocol that rotates a correct-but-slow (or throttling-Byzantine)
   leader out before its timeout would ever fire.
+* :mod:`repro.obs.recorder` — a :class:`FlightRecorder` capturing
+  structured protocol events (votes, certificates, decides, WAL and
+  checkpoint activity, demotions, fault firings) with multi-parent
+  causality, dumped as JSON lines for ``python -m repro.postmortem``.
 
 With observability disabled (the default everywhere) the simulation's
-golden trace digests are byte-identical to an uninstrumented build.
+golden trace digests are byte-identical to an uninstrumented build —
+and they stay byte-identical with a recorder *attached*, because the
+``Envelope.trace`` side channel is excluded from digests and recorded
+runs preserve delivery (time, insertion-order) exactly.
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .monitor import DemotionVote, LeaderMonitor, SlidingWindow
+from .recorder import (
+    FlightEvent,
+    FlightRecorder,
+    TeeTracer,
+    attach_observers,
+    hook_view_changes,
+)
 from .tracing import CausalTracer, TraceEvent, attach_tracer
 
 __all__ = [
@@ -32,4 +47,9 @@ __all__ = [
     "DemotionVote",
     "LeaderMonitor",
     "SlidingWindow",
+    "FlightEvent",
+    "FlightRecorder",
+    "TeeTracer",
+    "attach_observers",
+    "hook_view_changes",
 ]

@@ -22,6 +22,8 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import json
+import re
 from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = [
@@ -275,3 +277,58 @@ class MetricsRegistry:
             },
         }
         return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` snapshot as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """The snapshot in the Prometheus text exposition format.
+
+        Metric names are sanitized (``replica.0.requests`` →
+        ``replica_0_requests``); histograms export as summaries (exact
+        ``_count``/``_sum`` plus reservoir quantiles).  Output is sorted
+        by name, so two identical runs export byte-identical text.
+        """
+        lines: List[str] = []
+        for name, counter in sorted(self._counters.items()):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_prom_value(counter.value)}")
+        for name, gauge in sorted(self._gauges.items()):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_value(gauge.value)}")
+        for name, histogram in sorted(self._histograms.items()):
+            prom = _prom_name(name)
+            lines.append(f"# TYPE {prom} summary")
+            for q in (0.5, 0.95, 0.99):
+                value = histogram.percentile(q * 100)
+                if value is not None:
+                    lines.append(
+                        f'{prom}{{quantile="{q}"}} {_prom_value(value)}'
+                    )
+            lines.append(f"{prom}_sum {_prom_value(histogram.total)}")
+            lines.append(f"{prom}_count {histogram.count}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    prom = _PROM_INVALID.sub("_", name)
+    if prom and prom[0].isdigit():
+        prom = "_" + prom
+    return prom
+
+
+def _prom_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    try:
+        return repr(float(value))
+    except (TypeError, ValueError):
+        return "NaN"

@@ -161,15 +161,23 @@ class CausalTracer:
             events = events[-limit:]
         known = {event.id for event in events}
         for event in events:
-            if event.parent is not None and event.parent in known:
-                level = min(depth.get(event.parent, 0) + 1, 8)
-            else:
+            if event.parent is None:
                 level = 0
+                break_note = ""
+            elif event.parent in known:
+                level = min(depth.get(event.parent, 0) + 1, 8)
+                break_note = ""
+            else:
+                # The parent fell off the ring (or outside ``limit``):
+                # render as a root but say so, instead of silently
+                # pretending the chain started here.
+                level = 0
+                break_note = f"  [chain broken: parent {event.parent} evicted]"
             depth[event.id] = level
             peer = "" if event.peer is None else f" -> {event.peer}"
             lines.append(
                 f"{event.time:10.2f}  {'  ' * level}{event.kind:<8}"
-                f"p{event.pid}{peer}  {event.detail}"
+                f"p{event.pid}{peer}  {event.detail}{break_note}"
             )
         if self.dropped:
             lines.append(f"... ({self.dropped} earlier events dropped)")

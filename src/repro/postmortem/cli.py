@@ -1,0 +1,112 @@
+"""``python -m repro.postmortem`` — flight-dump analysis verbs.
+
+::
+
+    python -m repro.postmortem timeline DUMP [--limit N]
+    python -m repro.postmortem slot DUMP N
+    python -m repro.postmortem view DUMP V
+    python -m repro.postmortem explain DUMP
+    python -m repro.postmortem diff DUMP_A DUMP_B
+
+``explain`` exits 0 when it found and explained a violation (that is
+what the verb is *for*: running it on a clean dump exits 1 with "no
+violation found").  ``diff`` exits 0 when the dumps are identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .diff import render_diff
+from .dump import PostmortemError, load_dump
+from .explain import render_explanation
+from .timeline import render_slot, render_timeline, render_view
+
+__all__ = ["main"]
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    dump = load_dump(args.dump)
+    print(render_timeline(dump, limit=args.limit))
+    return 0
+
+
+def _cmd_slot(args: argparse.Namespace) -> int:
+    dump = load_dump(args.dump)
+    print(render_slot(dump, args.slot))
+    return 0
+
+
+def _cmd_view(args: argparse.Namespace) -> int:
+    dump = load_dump(args.dump)
+    print(render_view(dump, args.view))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    dump = load_dump(args.dump)
+    report, found = render_explanation(dump)
+    print(report)
+    return 0 if found else 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    a = load_dump(args.dump_a)
+    b = load_dump(args.dump_b)
+    report, identical = render_diff(a, b, args.dump_a, args.dump_b)
+    print(report)
+    return 0 if identical else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.postmortem",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_timeline = sub.add_parser(
+        "timeline", help="render the whole record chronologically"
+    )
+    p_timeline.add_argument("dump", help="flight dump (JSON lines)")
+    p_timeline.add_argument(
+        "--limit", type=int, default=None, help="show only the last N events"
+    )
+    p_timeline.set_defaults(func=_cmd_timeline)
+
+    p_slot = sub.add_parser("slot", help="one slot's state-machine timeline")
+    p_slot.add_argument("dump", help="flight dump (JSON lines)")
+    p_slot.add_argument("slot", type=int, help="slot number")
+    p_slot.set_defaults(func=_cmd_slot)
+
+    p_view = sub.add_parser("view", help="one view's timeline across slots")
+    p_view.add_argument("dump", help="flight dump (JSON lines)")
+    p_view.add_argument("view", type=int, help="view number")
+    p_view.set_defaults(func=_cmd_view)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="explain an oracle violation via its minimal causal cut",
+    )
+    p_explain.add_argument("dump", help="flight dump (JSON lines)")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_diff = sub.add_parser("diff", help="diff two dumps (normalized events)")
+    p_diff.add_argument("dump_a", help="first flight dump")
+    p_diff.add_argument("dump_b", help="second flight dump")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except PostmortemError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -5,6 +5,7 @@ Usage::
     python -m repro.scenarios list
     python -m repro.scenarios run fast-path-clean
     python -m repro.scenarios run --all [--json] [--metrics-out FILE] [--trace-out FILE]
+        [--record-out DIR]
     python -m repro.scenarios fuzz --seeds 25 [--start 0] [--protocols fbft,pbft]
         [--json [FILE]] [--max-seconds 60]
     python -m repro.scenarios digest [--check PATH | --update PATH]
@@ -55,8 +56,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     results = []
     metrics_accum = {} if args.metrics_out else None
     trace_accum = {} if args.trace_out else None
+    record_dir = args.record_out or None
+    dumped = []
     for name in names:
-        metrics = tracer = None
+        metrics = tracer = recorder = None
         if metrics_accum is not None:
             from ..obs.metrics import MetricsRegistry
 
@@ -65,7 +68,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             from ..obs.tracing import CausalTracer
 
             tracer = CausalTracer()
-        result = run_scenario(get_scenario(name), metrics=metrics, tracer=tracer)
+        if record_dir is not None:
+            from ..obs.recorder import FlightRecorder
+
+            recorder = FlightRecorder()
+        result = run_scenario(
+            get_scenario(name), metrics=metrics, tracer=tracer, recorder=recorder
+        )
         results.append(result)
         if metrics_accum is not None:
             metrics_accum[name] = result.metrics
@@ -75,6 +84,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "dropped": tracer.dropped,
                 "events": tracer.to_dicts(),
             }
+        if recorder is not None and not result.ok:
+            # Dump-on-violation: the attached recorder is digest-safe, so
+            # the failing run's own record is the artifact — no re-run.
+            import os
+
+            os.makedirs(record_dir, exist_ok=True)
+            path = os.path.join(record_dir, f"flight-{name}.jsonl")
+            recorder.dump(path)
+            dumped.append(path)
         if args.json:
             payloads.append(result.to_dict())
         else:
@@ -92,6 +110,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             json.dump(trace_accum, fh, indent=2)
             fh.write("\n")
         print(f"wrote traces for {len(trace_accum)} scenario(s) to {args.trace_out}")
+    for path in dumped:
+        print(f"wrote flight record of failing scenario to {path}")
     if args.json:
         print(json.dumps(payloads if args.all or len(names) > 1 else payloads[0],
                          indent=2))
@@ -204,6 +224,11 @@ def main(argv: List[str] | None = None) -> int:
         "--trace-out", metavar="FILE", default="",
         help="attach a CausalTracer per scenario and write all trace events "
              "to this JSON file",
+    )
+    run_parser.add_argument(
+        "--record-out", metavar="DIR", default="",
+        help="attach a FlightRecorder per scenario and dump failing runs "
+             "as DIR/flight-<name>.jsonl (see python -m repro.postmortem)",
     )
 
     fuzz_parser = sub.add_parser("fuzz", help="run the seeded scenario fuzzer")

@@ -157,17 +157,27 @@ def _crash_action(built: BuiltScenario, pid: int, disk: str):
     return action
 
 
-def _schedule_faults(spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster) -> None:
+def _schedule_faults(
+    spec: ScenarioSpec,
+    built: BuiltScenario,
+    cluster: Cluster,
+    recorder: Optional[Any] = None,
+) -> None:
     network = cluster.network
     for event in spec.faults:
+        pid = -1
         if isinstance(event, Crash):
             action = _crash_action(built, event.pid, event.disk)
+            kind, pid = "crash", event.pid
         elif isinstance(event, Recover):
             action = lambda pid=event.pid: built.process_by_pid(pid).recover()
+            kind, pid = "recover", event.pid
         elif isinstance(event, PartitionStart):
             action = lambda groups=event.groups: network.start_partition(groups)
+            kind = "partition-start"
         elif isinstance(event, PartitionHeal):
             action = network.heal_partition
+            kind = "partition-heal"
         elif isinstance(event, DelayRuleOn):
             rule = DelayRule(
                 name=event.name,
@@ -178,10 +188,18 @@ def _schedule_faults(spec: ScenarioSpec, built: BuiltScenario, cluster: Cluster)
                 payload_types=event.payload_types,
             )
             action = lambda r=rule: network.set_delay_rule(r)
+            kind = "delay-on"
         elif isinstance(event, DelayRuleOff):
             action = lambda name=event.name: network.clear_delay_rule(name)
+            kind = "delay-off"
         else:  # pragma: no cover - exhaustive over FaultEvent
             raise ScenarioError(f"unknown fault event {event!r}")
+        if recorder is not None:
+            def action(
+                inner=action, kind=kind, pid=pid, detail=str(event)
+            ) -> None:
+                recorder.record_fault(kind, cluster.sim.now, pid, detail)
+                inner()
         cluster.sim.schedule_at(event.at, action, label=f"fault {event}")
 
 
@@ -210,13 +228,15 @@ def run_scenario(
     *,
     metrics: Optional[Any] = None,
     tracer: Optional[Any] = None,
+    recorder: Optional[Any] = None,
 ) -> ScenarioResult:
     """Build, run and judge one scenario.
 
-    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) and
-    ``tracer`` (a :class:`~repro.obs.tracing.CausalTracer`) are optional
-    observers; both default to off, in which case the execution — and its
-    trace digest — is byte-identical to an unobserved run.
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`),
+    ``tracer`` (a :class:`~repro.obs.tracing.CausalTracer`) and
+    ``recorder`` (a :class:`~repro.obs.recorder.FlightRecorder`) are
+    optional observers; all default to off, and the execution — and its
+    trace digest — is byte-identical with or without any of them.
     """
     spec.validate()
     adapter = ADAPTERS.get(spec.protocol)
@@ -230,11 +250,31 @@ def run_scenario(
         for replica in built.replicas:
             replica.attach_metrics(metrics)
         cluster.network.add_send_hook(metrics.network_send_hook())
-    if tracer is not None:
-        from ..obs.tracing import attach_tracer
+    if recorder is not None:
+        from ..obs.recorder import hook_view_changes
 
-        attach_tracer(cluster, tracer)
-    _schedule_faults(spec, built, cluster)
+        recorder.begin_run(
+            scenario=spec.name,
+            protocol=spec.protocol,
+            n=spec.n,
+            f=spec.f,
+            t=spec.t,
+            mode=built.mode,
+            honest_pids=sorted(built.honest_pids),
+        )
+        for replica in built.replicas:
+            replica.attach_recorder(recorder)
+        if not built.replicas:
+            # Consensus mode: bare instances are processes themselves —
+            # hook their view entries directly (no-op for processes
+            # without ``enter_view``, e.g. Byzantine wrappers).
+            for process in built.processes:
+                hook_view_changes(recorder, process)
+    if tracer is not None or recorder is not None:
+        from ..obs.recorder import attach_observers
+
+        attach_observers(cluster, tracer, recorder)
+    _schedule_faults(spec, built, cluster, recorder)
 
     decided = False
     decision_value: Any = None
@@ -315,6 +355,13 @@ def run_scenario(
     }
     if monitors:
         snapshot["monitors"] = monitors
+    if recorder is not None:
+        recorder.finish_run(
+            decided=decided,
+            decision_time=decision_time,
+            safety_violation=safety_violation,
+            failures=[v.name for v in verdicts if v.failed],
+        )
     return ScenarioResult(
         spec=spec,
         decided=decided,

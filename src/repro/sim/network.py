@@ -359,6 +359,10 @@ class Network:
         #: Optional causal tracer (``repro.obs.tracing.CausalTracer``):
         #: ``None`` keeps the send/deliver hot paths untouched.
         self._tracer: Optional[Any] = None
+        #: Per-payload-type verdict memo for selective tracers — tracers
+        #: exposing ``wants(payload_type) -> bool`` only pay the traced
+        #: path for types they care about; ``None`` means trace all.
+        self._tracer_wants: Optional[Dict[type, bool]] = None
         #: Compiled fast-path send (``repro._core._accel.NetCore``), built
         #: only when the simulator carries a C core; ``_rebind_send``
         #: routes ``self._send`` to it while nothing slow is active.
@@ -463,8 +467,17 @@ class Network:
         The tracer stamps each outgoing envelope's ``trace`` field and
         observes deliveries; delivery *times* are unchanged, so a traced
         run produces the same trace digest as an untraced one.
+
+        A tracer may expose ``wants(payload_type) -> bool`` to opt out of
+        payload types it does not record: unwanted sends skip the stamp
+        *and* keep the prebound fast delivery, so a selective tracer (the
+        flight recorder) costs near-nothing on payloads it ignores.  The
+        verdict is memoized per payload type.
         """
         self._tracer = tracer
+        self._tracer_wants = (
+            {} if callable(getattr(tracer, "wants", None)) else None
+        )
         self._rebind_send()
 
     # ------------------------------------------------------------------
@@ -607,8 +620,17 @@ class Network:
             envelope = self._retime(envelope)
             deliver = envelope.deliver_time
         tracer = self._tracer
-        if tracer is not None:
-            envelope = tracer.on_send(envelope)
+        traced = tracer is not None
+        if traced:
+            wants = self._tracer_wants
+            if wants is not None:
+                ptype = type(payload)
+                verdict = wants.get(ptype)
+                if verdict is None:
+                    verdict = wants[ptype] = bool(tracer.wants(ptype))
+                traced = verdict
+            if traced:
+                envelope = tracer.on_send(envelope)
         stats = self.stats
         stats.messages_sent += 1
         stats.bytes_sent += size
@@ -620,7 +642,7 @@ class Network:
             stats.messages_held += 1
             self._held.append(envelope)
             return envelope
-        if tracer is None and self._delivery_log is None and self._fast_paths:
+        if not traced and self._delivery_log is None and self._fast_paths:
             self._post(deliver, partial(self._deliver_ref, dst, src, payload))
         else:
             # Tracing needs the envelope at delivery; the schedule keeps

@@ -307,6 +307,11 @@ class SMRReplica(Process):
         #: only populated when the monitor or metrics are active).
         self._arrival_times: Dict[RequestKey, float] = {}
         self.metrics: Any = None
+        #: Optional flight recorder (``repro.obs.recorder``): local
+        #: protocol transitions (decide, WAL, checkpoint, demotion) are
+        #: recorded against it; ``None`` keeps every hot path a single
+        #: ``is not None`` test.
+        self._recorder: Any = None
         self.attach_metrics(metrics)
 
     def attach_metrics(self, metrics: Any) -> None:
@@ -333,6 +338,18 @@ class SMRReplica(Process):
             self._m_queue_delay = None
             self._m_demotion_votes = None
             self._m_demotions = None
+
+    def attach_recorder(self, recorder: Any) -> None:
+        """Bind (or unbind, with ``None``) a flight recorder.
+
+        The recorder observes network traffic through the network tracer
+        slot; this binding adds the *local* transitions — decides, WAL
+        appends/truncates, checkpoint votes/stability, demotion votes,
+        view advocacy — with their causal parents.  Call before
+        ``start`` (the scenario runner does, mirroring
+        :meth:`attach_metrics`).
+        """
+        self._recorder = recorder
 
     # ------------------------------------------------------------------
     # Introspection (used by tests and examples)
@@ -627,7 +644,7 @@ class SMRReplica(Process):
         ctx = _SlotContext(slot, self.ctx)
         instance.attach(ctx)
         instance.decision_hook = lambda value, s=slot: self._on_slot_decided(s, value)
-        if self.storage is not None:
+        if self.storage is not None or self._recorder is not None:
             self._hook_view_changes(slot, instance)
         self._instances[slot] = instance
         mon = self._monitor
@@ -638,11 +655,12 @@ class SMRReplica(Process):
             # Every instance starts at view 1, so a demotion must carry
             # over to slots opened after it — otherwise each new slot
             # would re-elect the very leader the cluster just demoted.
-            self._advocate_view(instance, mon.view_floor)
+            self._advocate_view(instance, mon.view_floor, slot=slot)
         return instance
 
     def _hook_view_changes(self, slot: int, instance: Any) -> None:
-        """Record the slot's view changes in the WAL (durable replicas).
+        """Record the slot's view changes in the WAL (durable replicas)
+        and/or the flight recorder.
 
         Replay does not consume them — an unfinished instance restarts
         from view 1, which is always safe — but they are part of the
@@ -655,7 +673,11 @@ class SMRReplica(Process):
 
         def recording_enter_view(view: int) -> None:
             if view > getattr(instance, "view", 0):
-                self.storage.wal.append_view_change(slot, view)
+                if self.storage is not None:
+                    self.storage.wal.append_view_change(slot, view)
+                rec = self._recorder
+                if rec is not None:
+                    rec.record_view_change(self.pid, view, self.now, slot=slot)
             inner(view)
 
         instance.enter_view = recording_enter_view
@@ -671,11 +693,21 @@ class SMRReplica(Process):
     def _adopt_decision(self, slot: int, value: Any) -> None:
         if slot in self._decided:
             return
+        rec = self._recorder
+        decide_id = (
+            rec.record_decide(self.pid, value, self.now, slot=slot)
+            if rec is not None
+            else None
+        )
         if self.storage is not None:
             # Write-ahead: the decision is on disk before it takes any
             # effect, so replay after a disk-retained crash reconstructs
             # exactly what this replica committed to.
             self.storage.wal.append_decide(slot, value)
+            if rec is not None:
+                rec.record_wal_append(
+                    self.pid, slot, "decide", self.now, parent=decide_id
+                )
         self._decided[slot] = value
         self._assigned.pop(slot, None)
         instance = self._instances.get(slot)
@@ -819,6 +851,10 @@ class SMRReplica(Process):
             else None
         )
         vote = CheckpointVote(slot=slot, digest=digest, signature=signature)
+        if self._recorder is not None:
+            # The broadcast excludes self, so the local tally needs its
+            # own event for the quorum's causal record to be complete.
+            self._recorder.record_checkpoint_vote_local(self.pid, slot, self.now)
         self.broadcast(vote, include_self=False)
         self._record_checkpoint_vote(self.pid, vote, verify=False)
 
@@ -864,7 +900,17 @@ class SMRReplica(Process):
     def _make_stable(self, checkpoint: Checkpoint) -> None:
         """Persist a stable checkpoint and compact everything below it."""
         self._checkpoints.install_stable(checkpoint)
-        self.storage.install_checkpoint(checkpoint)
+        rec = self._recorder
+        stable_id = (
+            rec.record_checkpoint_stable(self.pid, checkpoint.slot, self.now)
+            if rec is not None
+            else None
+        )
+        truncated = self.storage.install_checkpoint(checkpoint)
+        if rec is not None and truncated:
+            rec.record_wal_truncate(
+                self.pid, checkpoint.slot, self.now, parent=stable_id
+            )
         self._prune_upto(checkpoint.slot)
 
     def _prune_upto(self, slot: int) -> None:
@@ -890,7 +936,9 @@ class SMRReplica(Process):
     # Leader demotion (performance monitor; see repro.obs.monitor)
     # ------------------------------------------------------------------
 
-    def _advocate_view(self, instance: Any, view: int) -> None:
+    def _advocate_view(
+        self, instance: Any, view: int, slot: Optional[int] = None
+    ) -> None:
         """Push one consensus instance toward ``view``.
 
         Preferably through its pacemaker's wish amplification — replicas
@@ -899,6 +947,8 @@ class SMRReplica(Process):
         ``f + 1`` amplification.  Instances without a pacemaker fall back
         to a direct (idempotent, monotone) view entry.
         """
+        if self._recorder is not None:
+            self._recorder.record_advocate(self.pid, view, self.now, slot=slot)
         pacemaker = getattr(instance, "pacemaker", None)
         if pacemaker is not None and hasattr(pacemaker, "advocate"):
             pacemaker.advocate(view)
@@ -928,6 +978,9 @@ class SMRReplica(Process):
         mon.note_vote_cast(self.now)
         if self._m_demotion_votes is not None:
             self._m_demotion_votes.inc()
+        if self._recorder is not None:
+            # include_self=False: our own vote has no network event.
+            self._recorder.record_demotion_vote_local(self.pid, view, self.now)
         self.broadcast(vote, include_self=False)
         self._record_demotion_vote(self.pid, vote, verify=False)
 
@@ -969,11 +1022,13 @@ class SMRReplica(Process):
         mon.note_demotion(self.now, view)
         if self._m_demotions is not None:
             self._m_demotions.inc()
+        if self._recorder is not None:
+            self._recorder.record_demotion(self.pid, view, self.now)
         for stale in [v for v in self._demotion_votes if v <= view]:
             del self._demotion_votes[stale]
         for slot, instance in list(self._instances.items()):
             if slot not in self._decided:
-                self._advocate_view(instance, view)
+                self._advocate_view(instance, view, slot=slot)
 
     # ------------------------------------------------------------------
     # Catchup (peer state transfer)

@@ -59,8 +59,8 @@ class TestRegistryCompleteness:
         for exp_id in experiment_ids():
             assert exp_id in documented, f"{exp_id} registered but not in EXPERIMENTS.md"
 
-    def test_registry_covers_e1_to_e20(self):
-        assert experiment_ids() == [f"E{i}" for i in range(1, 21)]
+    def test_registry_covers_e1_to_e21(self):
+        assert experiment_ids() == [f"E{i}" for i in range(1, 22)]
 
     def test_lookup_by_id_and_name(self):
         assert get_experiment("E1") is get_experiment("resilience")
@@ -75,7 +75,7 @@ class TestRegistryCompleteness:
         ``run_sections``) with its own experiment id."""
         bench_dir = REPO_ROOT / "benchmarks"
         scripts = sorted(bench_dir.glob("bench_e*.py"))
-        assert len(scripts) == 20
+        assert len(scripts) == 21
         for script in scripts:
             exp_id = "E" + re.match(r"bench_e(\d+)_", script.name).group(1)
             text = script.read_text(encoding="utf-8")
@@ -322,7 +322,7 @@ class TestLegacyCompat:
     def test_experiments_mapping_iterates_registry_names(self):
         names = list(EXPERIMENTS)
         assert "resilience" in names and "throughput" in names
-        assert len(names) == 20
+        assert len(names) == 21
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,7 @@ The load-bearing claims:
 
 import json
 
+from pathlib import Path
 from random import Random
 
 import pytest
@@ -420,3 +421,55 @@ class TestCli:
         # An impossible protocol name is a usage error, not a crash.
         with pytest.raises(SystemExit):
             fuzz_main(["campaign", "--budget", "-1", "--bogus"])
+
+    def test_campaign_telemetry_flags(self, tmp_path, capsys):
+        """--metrics-out/--trace-out accumulate across every executed
+        schedule (via the in-process serial path) and write on exit."""
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        code = fuzz_main([
+            "campaign", "--budget", "8", "--quiet",
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert any(k.startswith("net.sent.") for k in metrics["counters"])
+        trace = json.loads(trace_path.read_text())
+        assert trace["emitted"] > 0 and trace["events"]
+
+    def test_replay_record_out_dumps_flight_record(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec = generate_scenario(1)
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        record_dir = tmp_path / "dumps"
+        assert fuzz_main([
+            "replay", "--spec", str(spec_path),
+            "--record-out", str(record_dir),
+        ]) == 0
+        dump = record_dir / f"flight-{spec.name}.jsonl"
+        header = json.loads(dump.read_text().splitlines()[0])
+        assert header["flight"] == 1
+        assert header["meta"]["scenario"] == spec.name
+
+    def test_failures_dump_original_and_shrunk(self, tmp_path, capsys):
+        """Dump-on-violation: a failing seed's original and shrunk
+        reproducers are replayed under flight recorders and dumped next
+        to the --json report (no --record-out needed)."""
+        from repro.fuzz import cli as fuzz_cli
+
+        spec_dict = generate_scenario(1).to_dict()
+
+        class FakeFailure:
+            origin = "seed-0001"
+            spec = spec_dict
+            shrunk = spec_dict
+
+        paths = fuzz_cli._dump_failures([FakeFailure], str(tmp_path / "out"))
+        assert [Path(p).name for p in paths] == [
+            "flight-seed-0001-original.jsonl",
+            "flight-seed-0001-shrunk.jsonl",
+        ]
+        for path in paths:
+            header = json.loads(Path(path).read_text().splitlines()[0])
+            assert header["flight"] == 1

@@ -94,6 +94,43 @@ class TestMetricsRegistry:
         assert len(hist.values()) == 8
         assert min(hist.values()) >= 992.0
 
+    def test_to_json_roundtrips_the_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat").observe(1.5)
+        payload = json.loads(registry.to_json())
+        assert payload["counters"]["reqs"] == 3
+        assert payload["gauges"]["depth"] == 2
+        assert payload["histograms"]["lat"]["count"] == 1
+
+    def test_prometheus_export_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("net.sent.Ack").inc(7)
+        registry.gauge("queue.depth").set(3)
+        hist = registry.histogram("commit.latency")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        text = registry.to_prometheus()
+        # Invalid Prometheus name characters are rewritten; each metric
+        # carries its TYPE line; histograms export as summaries.
+        assert "# TYPE net_sent_Ack counter" in text
+        assert "net_sent_Ack 7" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "# TYPE commit_latency summary" in text
+        assert 'commit_latency{quantile="0.5"}' in text
+        assert "commit_latency_sum 6.0" in text
+        assert "commit_latency_count 3" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_export_is_sorted_and_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        text = registry.to_prometheus()
+        assert text.index("# TYPE a counter") < text.index("# TYPE b counter")
+        assert registry.to_prometheus() == text
+
     def test_network_send_hook_counts_by_payload_type(self):
         from repro.sim.events import Simulator
         from repro.sim.network import Network
@@ -208,6 +245,38 @@ class TestCausalTracer:
 
         assert cluster_digest(plain) == cluster_digest(traced)
         assert [p.got for p in plain_procs] == [p.got for p in traced_procs]
+
+    def test_timeline_annotates_evicted_parents(self):
+        """Ring wraparound regression: an event whose parent fell off
+        the ring renders as a root *with a break note*, not silently as
+        the start of a chain."""
+        from repro.sim.network import Envelope
+
+        tracer = CausalTracer(capacity=2)
+        envelope = Envelope(
+            src=0, dst=1, payload="ping", send_time=0.0, deliver_time=1.0
+        )
+        envelope = tracer.on_send(envelope)  # id 1, evicted below
+        tracer.begin_delivery(envelope)  # id 2 (deliver), id 3 (span)
+        assert tracer.dropped == 1
+        text = tracer.render_timeline()
+        assert "[chain broken: parent 1 evicted]" in text
+        # The surviving span still renders under its surviving parent.
+        span_line = next(
+            line for line in text.splitlines() if "handle" in line
+        )
+        assert "chain broken" not in span_line
+
+    def test_timeline_limit_annotates_out_of_window_parents(self):
+        from repro.sim.network import Envelope
+
+        tracer = CausalTracer()
+        first = tracer.on_send(
+            Envelope(src=0, dst=1, payload="a", send_time=0.0, deliver_time=1.0)
+        )
+        tracer.begin_delivery(first)
+        text = tracer.render_timeline(limit=1)
+        assert "chain broken" in text
 
 
 # ---------------------------------------------------------------------------
